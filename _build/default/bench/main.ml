@@ -1,0 +1,124 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (sections 4-6) and then runs one Bechamel micro-benchmark per
+   experiment over the simulator primitive that dominates it.
+
+   Usage:
+     bench/main.exe                 -- all experiments + micro-benchmarks
+     bench/main.exe fig3 fig11      -- just those experiments
+     bench/main.exe --no-micro      -- skip the Bechamel suite *)
+
+open Trips_harness
+
+let run_experiment (e : Experiments.experiment) =
+  Printf.printf "\n=== %s: %s ===\n" e.Experiments.id e.Experiments.title;
+  Printf.printf "Paper: %s\n\n" e.Experiments.paper_claim;
+  let t0 = Unix.gettimeofday () in
+  let table = e.Experiments.run () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Trips_util.Table.print table;
+  Printf.printf "(generated in %.1fs)\n%!" dt
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure                     *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let module Registry = Trips_workloads.Registry in
+  let module Image = Trips_tir.Image in
+  let module Ast = Trips_tir.Ast in
+  let fft = Registry.find "fft" in
+  let a2time = Registry.find "a2time" in
+  let edge_prog = Platforms.edge_program Platforms.C a2time in
+  let edge_small = Platforms.edge_program Platforms.C fft in
+  let risc_prog = Trips_risc.Codegen.compile a2time.Registry.program in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  [
+    mk "table1/table-render" (fun () ->
+        ignore (Trips_util.Table.render (Perf_figs.table1 ())));
+    mk "fig3/edge-functional-exec" (fun () ->
+        let image = Image.build a2time.Registry.program.Ast.globals in
+        ignore (Trips_edge.Exec.run edge_prog image ~entry:"main" ~args:[]));
+    mk "fig4/risc-exec" (fun () ->
+        let image = Image.build a2time.Registry.program.Ast.globals in
+        ignore (Trips_risc.Exec.run risc_prog image ~entry:"main" ~args:[]));
+    mk "fig5/edge-compile" (fun () ->
+        ignore
+          (Trips_compiler.Driver.compile Trips_compiler.Driver.compiled
+             fft.Registry.program));
+    mk "codesize/risc-compile" (fun () ->
+        ignore (Trips_risc.Codegen.compile fft.Registry.program));
+    mk "fig6/cycle-sim" (fun () ->
+        let image = Image.build fft.Registry.program.Ast.globals in
+        ignore (Trips_sim.Core.run edge_small image ~entry:"main" ~args:[]));
+    mk "fig7/block-predictor" (fun () ->
+        let p = Trips_predictor.Blockpred.create Trips_predictor.Blockpred.prototype in
+        for b = 0 to 999 do
+          ignore (Trips_predictor.Blockpred.predict p ~block:b);
+          Trips_predictor.Blockpred.update p
+            { Trips_predictor.Blockpred.o_block = b; o_exit = b land 3;
+              o_kind = Trips_predictor.Blockpred.Kjump; o_target = b + 1;
+              o_fallthrough = 0 }
+        done);
+    mk "fig8/opn-send" (fun () ->
+        let opn = Trips_noc.Opn.create () in
+        for k = 0 to 999 do
+          ignore
+            (Trips_noc.Opn.send opn ~src:(1, 1) ~dst:(4, 4) Trips_noc.Opn.Et_et
+               ~now:k)
+        done);
+    mk "fig9/ideal-sim" (fun () ->
+        let image = Image.build fft.Registry.program.Ast.globals in
+        ignore (Trips_limit.Ideal.run edge_small image ~entry:"main" ~args:[]));
+    mk "fig11/ooo-sim" (fun () ->
+        let image = Image.build a2time.Registry.program.Ast.globals in
+        ignore
+          (Trips_superscalar.Ooo.run Trips_superscalar.Ooo.core2 risc_prog image
+             ~entry:"main" ~args:[]));
+    mk "table3/cache-access" (fun () ->
+        let c = Trips_mem.Cache.create Trips_mem.Cache.trips_l1d in
+        for k = 0 to 999 do
+          ignore (Trips_mem.Cache.access c ~addr:(k * 64) ~write:false)
+        done);
+    mk "flops/semantics-fadd" (fun () ->
+        ignore
+          (Trips_tir.Semantics.binop Trips_tir.Ast.Fadd (Trips_tir.Ty.Vf 1.5)
+             (Trips_tir.Ty.Vf 2.5)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "\n=== Bechamel micro-benchmarks (ns per run) ===";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ]) in
+      let ols =
+        Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+      in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-32s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        analysis)
+    (micro_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_micro = List.mem "--no-micro" args in
+  let ids = List.filter (fun a -> a <> "--no-micro") args in
+  let experiments =
+    match ids with
+    | [] -> Experiments.all
+    | ids -> List.map Experiments.find ids
+  in
+  Printf.printf
+    "TRIPS evaluation reproduction -- %d experiment(s); see EXPERIMENTS.md for the \
+     paper-vs-measured record.\n"
+    (List.length experiments);
+  List.iter run_experiment experiments;
+  if not no_micro then run_micro ()

@@ -1,0 +1,142 @@
+(* Command-line driver for the TRIPS reproduction.
+
+     trips_run list                         -- registered benchmarks
+     trips_run run fft --preset H --sim cycle
+     trips_run exp fig9                     -- one table/figure
+     trips_run disasm conv --preset C       -- EDGE block listing *)
+
+open Cmdliner
+module Registry = Trips_workloads.Registry
+module Image = Trips_tir.Image
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+module Exec = Trips_edge.Exec
+module Core = Trips_sim.Core
+open Trips_harness
+
+let quality_of = function
+  | "C" | "c" -> Platforms.C
+  | "H" | "h" -> Platforms.H
+  | q -> invalid_arg ("unknown preset " ^ q ^ " (use C or H)")
+
+(* -- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let doc = "List the registered benchmarks." in
+  let run () =
+    let t =
+      Trips_util.Table.create
+        [ ("name", Trips_util.Table.Left); ("suite", Trips_util.Table.Left);
+          ("simple", Trips_util.Table.Left); ("description", Trips_util.Table.Left) ]
+    in
+    List.iter
+      (fun (b : Registry.bench) ->
+        Trips_util.Table.add_row t
+          [ b.Registry.name; Registry.suite_name b.Registry.suite;
+            (if b.Registry.simple then "yes" else "");
+            b.Registry.description ])
+      Registry.all;
+    Trips_util.Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* -- run -------------------------------------------------------------- *)
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+
+let preset_arg =
+  Arg.(value & opt string "C" & info [ "preset" ] ~docv:"C|H" ~doc:"Code quality.")
+
+let sim_arg =
+  Arg.(
+    value
+    & opt string "cycle"
+    & info [ "sim" ] ~docv:"SIM"
+        ~doc:"One of: functional, cycle, ideal, risc, core2, p4, p3.")
+
+let run_bench name preset sim =
+  let b = Registry.find name in
+  let q = quality_of preset in
+  let golden, _ = Registry.golden b in
+  let show_ret v =
+    Printf.printf "result: %s (golden: %s)\n"
+      (match v with Some v -> Ty.value_to_string v | None -> "-")
+      (match golden with Some v -> Ty.value_to_string v | None -> "-")
+  in
+  match sim with
+  | "functional" ->
+    let s = Platforms.edge_stats q b in
+    show_ret golden;
+    Printf.printf "blocks: %d  fetched: %d  executed: %d  useful: %d  moves: %d\n"
+      s.Exec.blocks s.Exec.fetched s.Exec.executed s.Exec.useful s.Exec.k_move;
+    Printf.printf "avg block size: %.1f\n"
+      (Trips_util.Stats.ratio s.Exec.fetched s.Exec.blocks)
+  | "cycle" ->
+    let r = Platforms.trips q b in
+    show_ret r.Core.ret;
+    Printf.printf
+      "cycles: %d  IPC: %.2f (useful %.2f)  window: %.0f  avg hops: %.2f\n"
+      r.Core.timing.Core.cycles (Core.ipc r) (Core.useful_ipc r) (Core.avg_window r)
+      r.Core.opn_average_hops;
+    Printf.printf
+      "branch mispredicts: %d  call/ret: %d  I$ misses: %d  D$ misses: %d  load flushes: %d\n"
+      r.Core.timing.Core.branch_mispredicts r.Core.timing.Core.callret_mispredicts
+      r.Core.timing.Core.icache_misses r.Core.timing.Core.dcache_misses
+      r.Core.timing.Core.load_flushes
+  | "ideal" ->
+    let r = Platforms.ideal Trips_limit.Ideal.trips_window ~tag:"1k" q b in
+    show_ret r.Trips_limit.Ideal.ret;
+    Printf.printf "cycles: %d  IPC: %.2f\n" r.Trips_limit.Ideal.cycles
+      (Trips_limit.Ideal.ipc r)
+  | "risc" ->
+    let s = Platforms.risc b in
+    Printf.printf
+      "executed: %d  loads: %d  stores: %d  branches: %d  reg reads: %d  reg writes: %d\n"
+      s.Trips_risc.Exec.executed s.Trips_risc.Exec.loads s.Trips_risc.Exec.stores
+      s.Trips_risc.Exec.branches s.Trips_risc.Exec.reg_reads s.Trips_risc.Exec.reg_writes
+  | "core2" | "p4" | "p3" ->
+    let cfg =
+      match sim with
+      | "core2" -> Trips_superscalar.Ooo.core2
+      | "p4" -> Trips_superscalar.Ooo.pentium4
+      | _ -> Trips_superscalar.Ooo.pentium3
+    in
+    let r = Platforms.super cfg ~icc:false b in
+    Printf.printf "%s cycles: %d  IPC: %.2f  branch mispredicts: %d\n"
+      cfg.Trips_superscalar.Ooo.name r.Trips_superscalar.Ooo.stats.Trips_superscalar.Ooo.cycles
+      (Trips_superscalar.Ooo.ipc r)
+      r.Trips_superscalar.Ooo.stats.Trips_superscalar.Ooo.branch_mispredicts
+  | s -> invalid_arg ("unknown simulator " ^ s)
+
+let run_cmd =
+  let doc = "Run one benchmark on one modeled platform." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_bench $ bench_arg $ preset_arg $ sim_arg)
+
+(* -- exp -------------------------------------------------------------- *)
+
+let exp_cmd =
+  let doc = "Regenerate one of the paper's tables/figures (see `bench/main.exe`)." in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let run id =
+    let e = Experiments.find id in
+    Printf.printf "%s — paper: %s\n\n" e.Experiments.title e.Experiments.paper_claim;
+    Trips_util.Table.print (e.Experiments.run ())
+  in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id_arg)
+
+(* -- disasm ----------------------------------------------------------- *)
+
+let disasm_cmd =
+  let doc = "Print the compiled EDGE blocks of a benchmark." in
+  let run name preset =
+    let b = Registry.find name in
+    let prog = Platforms.edge_program (quality_of preset) b in
+    Format.printf "%a@." Trips_edge.Block.pp_program prog
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ bench_arg $ preset_arg)
+
+let () =
+  let doc = "TRIPS/EDGE reproduction driver" in
+  let info = Cmd.info "trips_run" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; exp_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/compiler_pipeline.ml: Array Ast Cfg Format Image List Lower Opt Printf Trips_compiler Trips_edge Trips_tir Ty

@@ -1,0 +1,1 @@
+examples/predictor_study.ml: Hashtbl List Printf Trips_compiler Trips_edge Trips_predictor Trips_tir Trips_util Trips_workloads

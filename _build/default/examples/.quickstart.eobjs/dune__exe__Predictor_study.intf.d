@@ -1,0 +1,1 @@
+examples/predictor_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Image Interp List Printf Trips_compiler Trips_edge Trips_sim Trips_tir Trips_workloads Ty

@@ -1,0 +1,1 @@
+examples/vadd_bandwidth.ml: Array Printf Trips_edge Trips_noc Trips_sim Trips_tir Trips_util Trips_workloads

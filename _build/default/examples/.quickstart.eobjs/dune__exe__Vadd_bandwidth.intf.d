@@ -1,0 +1,1 @@
+examples/vadd_bandwidth.mli:

@@ -1,0 +1,1 @@
+lib/compiler/dataflow.ml: Hashtbl Hyperblock Int Int64 List Map Printf Regalloc Trips_edge Trips_tir

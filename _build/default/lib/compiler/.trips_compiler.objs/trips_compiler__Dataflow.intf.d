@@ -1,0 +1,1 @@
+lib/compiler/dataflow.mli: Hyperblock Regalloc Trips_edge

@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Dataflow Hyperblock List Printf Regalloc Schedule Trips_edge Trips_tir

@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Hyperblock Trips_edge Trips_tir

@@ -1,0 +1,1 @@
+lib/compiler/hyperblock.ml: Array Format Hashtbl List Option Printf Queue Trips_tir

@@ -1,0 +1,1 @@
+lib/compiler/hyperblock.mli: Format Trips_tir

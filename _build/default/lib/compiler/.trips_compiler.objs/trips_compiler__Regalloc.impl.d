@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Hashtbl Hyperblock Int List Option Set Trips_edge Trips_tir

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Hashtbl Hyperblock Trips_tir

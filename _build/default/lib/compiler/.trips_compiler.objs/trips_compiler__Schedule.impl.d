@@ -1,0 +1,1 @@
+lib/compiler/schedule.ml: Array List Queue Trips_edge

@@ -1,0 +1,29 @@
+(** Dataflow conversion: hyperblock trees to EDGE blocks.
+
+    Implements the paper's dataflow predication model ([22]):
+
+    - pure operations from both arms of an if-converted branch execute
+      {e speculatively} (unpredicated) and the surviving value is selected by
+      a pair of predicated [mov]s at the merge point;
+    - tests are chained: a nested branch's test is predicated on its parent,
+      so an instruction predicated on the innermost test fires iff its whole
+      path was taken;
+    - trapping operations (divide/remainder) and loads are predicated rather
+      than speculated;
+    - stores are unpredicated block outputs whose address and data arrive
+      through guard chains that deliver a [null] token on not-taken paths,
+      so every LSID completes on every path;
+    - register writes complete on every path by merging the new value with
+      the prior register value (an extra read + predicated mov).
+
+    Cross-block values use the registers chosen by {!Regalloc}; everything
+    else is direct producer-to-consumer communication.  Fanout beyond two
+    targets is expanded by {!Trips_edge.Builder}. *)
+
+val convert :
+  Regalloc.t ->
+  layout:(string * int) list ->
+  Hyperblock.hblock ->
+  Trips_edge.Block.t
+(** @raise Trips_edge.Block.Invalid when the materialized block exceeds a
+    hardware limit (the driver retries formation with a smaller budget). *)

@@ -1,0 +1,128 @@
+module Ast = Trips_tir.Ast
+module Cfg = Trips_tir.Cfg
+module Lower = Trips_tir.Lower
+module Opt = Trips_tir.Opt
+module Transform = Trips_tir.Transform
+module Image = Trips_tir.Image
+module Block = Trips_edge.Block
+
+type preset = {
+  pname : string;
+  inline_pass : bool;
+  unroll : int;
+  optimize : bool;
+  budget : Hyperblock.budget;
+}
+
+let o0 =
+  {
+    pname = "O0";
+    inline_pass = false;
+    unroll = 1;
+    optimize = false;
+    budget = { Hyperblock.default_budget with max_ins = 40 };
+  }
+
+let compiled =
+  {
+    pname = "compiled";
+    inline_pass = true;
+    unroll = 2;
+    optimize = true;
+    budget = Hyperblock.default_budget;
+  }
+
+let hand =
+  {
+    pname = "hand";
+    inline_pass = true;
+    unroll = 8;
+    optimize = true;
+    budget = { Hyperblock.default_budget with max_ins = 110; tail_dup = 24 };
+  }
+
+let basic_blocks =
+  {
+    pname = "basic-blocks";
+    inline_pass = true;
+    unroll = 2;
+    optimize = true;
+    budget = Hyperblock.basic_block_budget;
+  }
+
+let copy_func (f : Cfg.func) : Cfg.func =
+  {
+    f with
+    blocks = List.map (fun (b : Cfg.block) -> { b with Cfg.ins = b.ins }) f.blocks;
+  }
+
+(* Split oversized basic blocks into chains so that even budget-1 formation
+   produces blocks the hardware can hold. *)
+let split_large_blocks ~cap ~mem_cap (f : Cfg.func) =
+  let counter = ref 0 in
+  let fresh_label base =
+    incr counter;
+    Printf.sprintf "%s.split%d" base !counter
+  in
+  let is_mem = function Cfg.Load _ | Cfg.Store _ -> true | _ -> false in
+  let rec split_block (b : Cfg.block) : Cfg.block list =
+    let rec take n m acc = function
+      | [] -> (List.rev acc, [])
+      | rest when n <= 0 || m <= 0 -> (List.rev acc, rest)
+      | i :: rest -> take (n - 1) (if is_mem i then m - 1 else m) (i :: acc) rest
+    in
+    let head, tail = take cap mem_cap [] b.ins in
+    match tail with
+    | [] -> [ b ]
+    | _ ->
+      let l2 = fresh_label b.label in
+      let rest_block = { Cfg.label = l2; ins = tail; term = b.term } in
+      { b with Cfg.ins = head; term = Cfg.Jmp l2 } :: split_block rest_block
+  in
+  f.blocks <- List.concat_map split_block f.blocks
+
+let compile_func preset ~layout (fn : Cfg.func) : Block.func =
+  let rec attempt budget cap =
+    let fn' = copy_func fn in
+    split_large_blocks ~cap ~mem_cap:(budget.Hyperblock.max_mem - 4 |> max 4) fn';
+    match
+      let hf = Hyperblock.form budget fn' in
+      let ra = Regalloc.allocate hf in
+      let blocks = List.map (Dataflow.convert ra ~layout) hf.Hyperblock.hblocks in
+      { Block.fname = hf.Hyperblock.hname; entry = hf.Hyperblock.hentry; blocks }
+    with
+    | bf -> bf
+    | exception ((Block.Invalid _ | Regalloc.Pressure _) as exn) ->
+      let label, reason =
+        match exn with
+        | Block.Invalid (l, r) -> (l, r)
+        | Regalloc.Pressure f -> (f, "register pressure")
+        | _ -> assert false
+      in
+      if budget.Hyperblock.max_ins <= 4 then
+        failwith
+          (Printf.sprintf "compile %s: block %s cannot fit: %s" fn.name label reason)
+      else
+        let budget =
+          { budget with Hyperblock.max_ins = budget.Hyperblock.max_ins * 2 / 3;
+            max_mem = max 4 (budget.Hyperblock.max_mem * 2 / 3);
+            tail_dup = budget.Hyperblock.tail_dup * 2 / 3 }
+        in
+        attempt budget (max 6 (cap * 2 / 3))
+  in
+  let bf = attempt preset.budget (max 8 (preset.budget.Hyperblock.max_ins * 3 / 4)) in
+  List.iter Schedule.place bf.Block.blocks;
+  bf
+
+let compile preset (p : Ast.program) : Block.program =
+  let p = if preset.inline_pass then Transform.inline p else p in
+  let p =
+    if preset.unroll > 1 then Transform.unroll_program ~factor:preset.unroll p else p
+  in
+  let cfg = Lower.program p in
+  if preset.optimize then Opt.run_program cfg;
+  let layout = Image.layout cfg.Cfg.globals in
+  let funcs = List.map (compile_func preset ~layout) cfg.Cfg.funcs in
+  let prog = { Block.globals = cfg.Cfg.globals; funcs } in
+  Block.validate_program prog;
+  prog

@@ -1,0 +1,37 @@
+(** End-to-end TRIPS compilation pipeline.
+
+    [AST -> (inline, unroll) -> CFG -> optimize -> hyperblock formation ->
+    register allocation -> dataflow conversion -> placement], with an outer
+    retry loop: when a formed region overflows a hardware limit during
+    materialization, formation is redone with a smaller growth budget
+    (and, in the limit, basic blocks are split).
+
+    Presets model the paper's code-quality levels:
+    - {!o0}: no optimization, no if-conversion — a floor for ablations;
+    - {!compiled}: the paper's "C" bars (the TRIPS compiler's output);
+    - {!hand}: the paper's "H" bars — the hand-optimizations it describes as
+      "largely mechanical" (deeper unrolling, aggressive inlining, larger
+      regions) applied automatically;
+    - {!basic_blocks}: hyperblock formation disabled, used by the Fig 7
+      predictor study's basic-block configurations. *)
+
+type preset = {
+  pname : string;
+  inline_pass : bool;
+  unroll : int;
+  optimize : bool;
+  budget : Hyperblock.budget;
+}
+
+val o0 : preset
+val compiled : preset
+val hand : preset
+val basic_blocks : preset
+
+val compile : preset -> Trips_tir.Ast.program -> Trips_edge.Block.program
+(** @raise Failure when a function cannot be made to fit even at the
+    smallest budget (e.g. a single instruction stream with >32 live-in
+    registers). *)
+
+val compile_func :
+  preset -> layout:(string * int) list -> Trips_tir.Cfg.func -> Trips_edge.Block.func

@@ -1,0 +1,175 @@
+module Cfg = Trips_tir.Cfg
+open Hyperblock
+
+type t = {
+  assign : (Cfg.vreg, int) Hashtbl.t;
+  live_in : (string, Cfg.vreg list) Hashtbl.t;
+  live_out : (string, Cfg.vreg list) Hashtbl.t;
+  write_set : (string, Cfg.vreg list) Hashtbl.t;
+}
+
+exception Pressure of string
+
+module IS = Set.Make (Int)
+
+let successors hb =
+  List.filter_map
+    (function Ejump l -> Some l | Ecall (_, retl) -> Some retl | Eret -> None)
+    (exits_of hb)
+
+let allocate (hf : hfunc) : t =
+  let pinned_args = List.filter (fun (_, r) -> r <> 1) hf.pinned in
+  let v_ret = fst (List.find (fun (_, r) -> r = 1) hf.pinned) in
+  let arg_vregs = IS.of_list (List.map fst pinned_args) in
+  (* Per-block sets.  [def] (may-defs) feeds the write sets; [kill]
+     (must-defs: the unpredicated prefix) is the only sound liveness kill
+     set — a value assigned on one predicated path still flows through on
+     the other, where the merge rereads the register. *)
+  let use = Hashtbl.create 16 and def = Hashtbl.create 16 in
+  let kill = Hashtbl.create 16 in
+  let use_end = Hashtbl.create 16 in
+  List.iter
+    (fun hb ->
+      let d = IS.of_list (body_defs hb.body) in
+      Hashtbl.replace def hb.hlabel d;
+      Hashtbl.replace kill hb.hlabel (IS.of_list (prefix_defs hb.body));
+      Hashtbl.replace use hb.hlabel (IS.of_list (body_uses_before_def hb.body));
+      let ue = ref IS.empty in
+      List.iter
+        (function
+          | Eret -> ue := IS.add v_ret !ue
+          | Ecall _ -> ue := IS.union (IS.inter d arg_vregs) !ue
+          | Ejump _ -> ())
+        (exits_of hb);
+      Hashtbl.replace use_end hb.hlabel !ue)
+    hf.hblocks;
+  (* the callee magically defines the return-value register at call exits *)
+  let def =
+    let d2 = Hashtbl.copy def in
+    List.iter
+      (fun hb ->
+        if List.exists (function Ecall _ -> true | _ -> false) (exits_of hb) then
+          Hashtbl.replace d2 hb.hlabel (IS.add v_ret (Hashtbl.find def hb.hlabel)))
+      hf.hblocks;
+    d2
+  in
+  (* iterative liveness to fixpoint *)
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun hb ->
+      Hashtbl.replace live_in hb.hlabel IS.empty;
+      Hashtbl.replace live_out hb.hlabel IS.empty)
+    hf.hblocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun hb ->
+        let out =
+          List.fold_left
+            (fun acc l ->
+              match Hashtbl.find_opt live_in l with
+              | Some s -> IS.union acc s
+              | None -> acc)
+            (Hashtbl.find use_end hb.hlabel)
+            (successors hb)
+        in
+        let inn =
+          IS.union
+            (Hashtbl.find use hb.hlabel)
+            (IS.diff out (Hashtbl.find kill hb.hlabel))
+        in
+        if not (IS.equal out (Hashtbl.find live_out hb.hlabel)) then begin
+          Hashtbl.replace live_out hb.hlabel out;
+          changed := true
+        end;
+        if not (IS.equal inn (Hashtbl.find live_in hb.hlabel)) then begin
+          Hashtbl.replace live_in hb.hlabel inn;
+          changed := true
+        end)
+      hf.hblocks
+  done;
+  (* allocation domain: everything live across an edge, plus pins *)
+  let domain = ref (IS.of_list (List.map fst hf.pinned)) in
+  List.iter
+    (fun hb ->
+      domain := IS.union !domain (Hashtbl.find live_in hb.hlabel);
+      domain := IS.union !domain (Hashtbl.find live_out hb.hlabel))
+    hf.hblocks;
+  (* interference edges *)
+  let interf : (int, IS.t) Hashtbl.t = Hashtbl.create 64 in
+  let edge a b =
+    if a <> b then begin
+      let add x y =
+        Hashtbl.replace interf x (IS.add y (Option.value ~default:IS.empty (Hashtbl.find_opt interf x)))
+      in
+      add a b;
+      add b a
+    end
+  in
+  let clique s = IS.iter (fun a -> IS.iter (fun b -> edge a b) s) s in
+  List.iter
+    (fun hb ->
+      clique (Hashtbl.find live_in hb.hlabel);
+      clique (Hashtbl.find live_out hb.hlabel);
+      let out = Hashtbl.find live_out hb.hlabel in
+      IS.iter (fun d -> IS.iter (fun l -> edge d l) out)
+        (IS.inter (Hashtbl.find def hb.hlabel) !domain))
+    hf.hblocks;
+  (* greedy coloring, pins first *)
+  let assign = Hashtbl.create 64 in
+  List.iter (fun (v, r) -> Hashtbl.replace assign v r) hf.pinned;
+  let nodes =
+    IS.elements (IS.diff !domain (IS.of_list (List.map fst hf.pinned)))
+    |> List.sort (fun a b ->
+           let deg v = IS.cardinal (Option.value ~default:IS.empty (Hashtbl.find_opt interf v)) in
+           compare (deg b) (deg a))
+  in
+  List.iter
+    (fun v ->
+      let neighbors = Option.value ~default:IS.empty (Hashtbl.find_opt interf v) in
+      let taken =
+        IS.fold
+          (fun n acc ->
+            match Hashtbl.find_opt assign n with Some c -> IS.add c acc | None -> acc)
+          neighbors IS.empty
+      in
+      let rec first c = if IS.mem c taken then first (c + 1) else c in
+      (* r0 is left free as a conventional scratch register; pins live at
+         1..9 but are reusable when not interfering *)
+      let c = first 1 in
+      if c >= Trips_edge.Isa.num_regs then raise (Pressure hf.hname);
+      Hashtbl.replace assign v c)
+    nodes;
+  (* write sets: defs that are live out (plus argument pins at call exits;
+     those are in use_end and therefore in live_out already) *)
+  let write_set = Hashtbl.create 16 in
+  List.iter
+    (fun hb ->
+      let ws =
+        IS.inter (Hashtbl.find def hb.hlabel) (Hashtbl.find live_out hb.hlabel)
+      in
+      (* the return-value register is written by the callee, not by the
+         caller's call block *)
+      let ws =
+        if List.exists (function Ecall _ -> true | _ -> false) (exits_of hb)
+           && not (IS.mem v_ret (IS.of_list (body_defs hb.body)))
+        then IS.remove v_ret ws
+        else ws
+      in
+      Hashtbl.replace write_set hb.hlabel (IS.elements ws))
+    hf.hblocks;
+  {
+    assign;
+    live_in =
+      (let h = Hashtbl.create 16 in
+       Hashtbl.iter (fun k v -> Hashtbl.replace h k (IS.elements v)) live_in;
+       h);
+    live_out =
+      (let h = Hashtbl.create 16 in
+       Hashtbl.iter (fun k v -> Hashtbl.replace h k (IS.elements v)) live_out;
+       h);
+    write_set;
+  }
+
+let reg_of t v = Hashtbl.find t.assign v

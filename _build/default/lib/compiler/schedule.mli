@@ -1,0 +1,27 @@
+(** Spatial instruction placement (the compiler's scheduler, [2]).
+
+    Assigns each instruction of a block to one of the 16 execution tiles
+    (8 reservation stations per tile per block).  The greedy placer walks
+    instructions in dataflow-topological order and puts each one where the
+    operand-network distance to its producers — plus affinity to the data
+    tiles for memory operations, the register tiles for header traffic and
+    the global tile for branches — is smallest, balancing tile occupancy.
+    This is the optimization whose quality the OPN hop profile of Fig 8
+    measures. *)
+
+val tile_position : int -> int * int
+(** Physical (row, col) of an execution tile id in the 5x5 OPN mesh.
+    Row 0 holds GT and the four RTs, column 0 the four DTs. *)
+
+val rt_position : int -> int * int
+(** Position of the register-tile bank serving an architectural register. *)
+
+val dt_position : int -> int * int
+(** Position of the data-tile bank serving an address. *)
+
+val gt_position : int * int
+
+val place : Trips_edge.Block.t -> unit
+(** Fill [block.placement] in place. *)
+
+val place_program : Trips_edge.Block.program -> unit

@@ -1,0 +1,1 @@
+lib/edge/block.ml: Array Format Hashtbl Isa List Printf Trips_tir

@@ -1,0 +1,1 @@
+lib/edge/block.mli: Format Isa Trips_tir

@@ -1,0 +1,1 @@
+lib/edge/builder.ml: Array Block Hashtbl Isa List Option

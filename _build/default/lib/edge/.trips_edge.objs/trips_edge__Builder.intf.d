@@ -1,0 +1,1 @@
+lib/edge/builder.mli: Block Isa

@@ -1,0 +1,1 @@
+lib/edge/exec.ml: Array Block Hashtbl Int64 Isa List Option Printf Queue Trips_tir

@@ -1,0 +1,1 @@
+lib/edge/exec.mli: Block Isa Trips_tir

@@ -1,0 +1,1 @@
+lib/edge/isa.ml: Format Printf Trips_tir

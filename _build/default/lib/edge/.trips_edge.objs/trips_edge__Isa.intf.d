@@ -1,0 +1,1 @@
+lib/edge/isa.mli: Format Trips_tir

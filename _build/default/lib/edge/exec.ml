@@ -1,0 +1,501 @@
+module Ty = Trips_tir.Ty
+module Ast = Trips_tir.Ast
+module Image = Trips_tir.Image
+module Semantics = Trips_tir.Semantics
+
+type token = Val of Ty.value | Nul
+
+type mem_event = {
+  ev_inst : int;
+  ev_lsid : int;
+  ev_is_load : bool;
+  ev_addr : int;
+  ev_width : Ty.width;
+  ev_null : bool;
+}
+
+type instance = {
+  iblock : Block.t;
+  fired : bool array;
+  useful : bool array;
+  exit_inst : int;
+  exit_dest : Isa.exit_dest;
+  mem_events : mem_event list;
+}
+
+type stats = {
+  mutable blocks : int;
+  mutable fetched : int;
+  mutable executed : int;
+  mutable not_executed : int;
+  mutable executed_not_used : int;
+  mutable useful : int;
+  mutable k_arith : int;
+  mutable k_memory : int;
+  mutable k_control : int;
+  mutable k_test : int;
+  mutable k_move : int;
+  mutable reads_fetched : int;
+  mutable writes_committed : int;
+  mutable stores_committed : int;
+  mutable loads_executed : int;
+  mutable opn_et_et : int;
+  mutable opn_rt_et : int;
+  mutable opn_et_rt : int;
+  mutable opn_et_dt : int;
+  mutable opn_dt_et : int;
+  mutable opn_et_gt : int;
+  mutable flops : int;
+}
+
+let empty_stats () =
+  {
+    blocks = 0; fetched = 0; executed = 0; not_executed = 0;
+    executed_not_used = 0; useful = 0;
+    k_arith = 0; k_memory = 0; k_control = 0; k_test = 0; k_move = 0;
+    reads_fetched = 0; writes_committed = 0; stores_committed = 0;
+    loads_executed = 0;
+    opn_et_et = 0; opn_rt_et = 0; opn_et_rt = 0; opn_et_dt = 0;
+    opn_dt_et = 0; opn_et_gt = 0; flops = 0;
+  }
+
+type result = {
+  ret : Ty.value option;
+  stats : stats;
+}
+
+exception Stuck of string * string
+
+let abi_ret_reg = 1
+let abi_arg_regs = [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let is_flop (op : Isa.opcode) =
+  match op with
+  | Isa.Bin (Ast.Fadd | Ast.Fsub | Ast.Fmul | Ast.Fdiv) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Single block execution                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-instruction dynamic state during one block instance. *)
+type islot = {
+  mutable op0 : token option;
+  mutable op1 : token option;
+  mutable prd : token option;
+  mutable src0 : int;      (* producer instruction index, -1 = read slot *)
+  mutable src1 : int;
+  mutable srcp : int;
+  mutable has_fired : bool;
+  mutable value : token;   (* result after firing *)
+}
+
+type pending_store = {
+  ps_inst : int;
+  ps_lsid : int;
+  ps_width : Ty.width;
+  ps_addr : int;           (* meaningless when nullified *)
+  ps_data : token;
+}
+
+let token_int label = function
+  | Val v -> Ty.as_int v
+  | Nul -> raise (Stuck (label, "null token in arithmetic"))
+
+(* Execute one block instance against register file and memory.
+   Returns the instance plus commit effects. *)
+let exec_block ~stats ~fuel (b : Block.t) (regs : Ty.value array) (image : Image.t) :
+    instance * (int * Ty.value) list =
+  let n = Array.length b.insts in
+  let slots =
+    Array.init n (fun _ ->
+        { op0 = None; op1 = None; prd = None; src0 = -1; src1 = -1; srcp = -1;
+          has_fired = false; value = Nul })
+  in
+  let ready = Queue.create () in
+  let write_results : (int * Ty.value) list ref = ref [] in   (* write slot -> value *)
+  let stores : pending_store list ref = ref [] in
+  let store_sites = ref 0 in     (* static stores in block *)
+  let stores_done = ref 0 in
+  let exit_fired = ref None in
+  let pending_loads : int list ref = ref [] in
+  Array.iter
+    (fun (ins : Isa.inst) ->
+      match ins.op with Isa.Store _ -> incr store_sites | _ -> ())
+    b.insts;
+  (* can a load with this lsid go? all static stores with lower lsid done *)
+  let lower_stores_done lsid =
+    let total = ref 0 and got = ref 0 in
+    Array.iter
+      (fun (ins : Isa.inst) ->
+        match ins.op with
+        | Isa.Store (_, l) when l < lsid -> incr total
+        | _ -> ())
+      b.insts;
+    List.iter (fun ps -> if ps.ps_lsid < lsid then incr got) !stores;
+    ignore got;
+    List.length (List.filter (fun ps -> ps.ps_lsid < lsid) !stores) = !total
+  in
+  (* forward from in-flight stores: build each byte from the youngest
+     lower-LSID store covering it, falling back to memory *)
+  let load_value ty width lsid addr =
+    let bytes = Ty.bytes_of_width width in
+    let byte k =
+      let a = addr + k in
+      let best = ref None in
+      List.iter
+        (fun ps ->
+          if ps.ps_data <> Nul && ps.ps_lsid < lsid then begin
+            let sb = Ty.bytes_of_width ps.ps_width in
+            if a >= ps.ps_addr && a < ps.ps_addr + sb then
+              match !best with
+              | Some prev when prev.ps_lsid >= ps.ps_lsid -> ()
+              | _ -> best := Some ps
+          end)
+        !stores;
+      match !best with
+      | Some ps ->
+        let data = match ps.ps_data with Val v -> v | Nul -> assert false in
+        let raw = (match data with Ty.Vi i -> i | Ty.Vf f -> Int64.bits_of_float f) in
+        Int64.to_int (Int64.logand (Int64.shift_right_logical raw (8 * (a - ps.ps_addr))) 0xFFL)
+      | None -> Int64.to_int (Image.load_u image Ty.W1 a)
+    in
+    let raw = ref 0L in
+    for k = bytes - 1 downto 0 do
+      raw := Int64.logor (Int64.shift_left !raw 8) (Int64.of_int (byte k))
+    done;
+    match ty with
+    | Ty.I64 -> Ty.Vi (Semantics.zext width !raw)
+    | Ty.F64 -> Ty.Vf (Int64.float_of_bits !raw)
+  in
+  let deliver src tok (tgt : Isa.target) =
+    match tgt with
+    | Isa.To_write w -> (
+      stats.opn_et_rt <- stats.opn_et_rt + 1;
+      match tok with
+      | Val v -> write_results := (w, v) :: !write_results
+      | Nul -> raise (Stuck (b.label, "null token delivered to a write slot")))
+    | Isa.To_inst (i, s) ->
+      let producer_is_load =
+        src >= 0 && (match b.insts.(src).op with Isa.Load _ -> true | _ -> false)
+      in
+      if src < 0 then stats.opn_rt_et <- stats.opn_rt_et + 1
+      else if producer_is_load then stats.opn_dt_et <- stats.opn_dt_et + 1
+      else stats.opn_et_et <- stats.opn_et_et + 1;
+      let sl = slots.(i) in
+      (match s with
+      | Isa.Op0 ->
+        if sl.op0 <> None then raise (Stuck (b.label, Printf.sprintf "I%d.op0 double delivery" i));
+        sl.op0 <- Some tok;
+        sl.src0 <- src
+      | Isa.Op1 ->
+        if sl.op1 <> None then raise (Stuck (b.label, Printf.sprintf "I%d.op1 double delivery" i));
+        sl.op1 <- Some tok;
+        sl.src1 <- src
+      | Isa.OpPred ->
+        if sl.prd <> None then raise (Stuck (b.label, Printf.sprintf "I%d.pred double delivery" i));
+        sl.prd <- Some tok;
+        sl.srcp <- src);
+      Queue.push i ready
+  in
+  (* predicate check: None = not yet decidable, Some b = fire/squash *)
+  let pred_ok i (ins : Isa.inst) =
+    match ins.pred with
+    | Isa.Unpred -> Some true
+    | Isa.On_true _ -> (
+      match slots.(i).prd with
+      | None -> None
+      | Some (Val v) -> Some (Ty.truthy v)
+      | Some Nul -> raise (Stuck (b.label, "null predicate")))
+    | Isa.On_false _ -> (
+      match slots.(i).prd with
+      | None -> None
+      | Some (Val v) -> Some (not (Ty.truthy v))
+      | Some Nul -> raise (Stuck (b.label, "null predicate")))
+  in
+  let try_fire i =
+    let ins = b.insts.(i) in
+    let sl = slots.(i) in
+    if sl.has_fired then ()
+    else
+      let arity = Isa.operand_arity ins in
+      let have_ops =
+        (arity < 1 || sl.op0 <> None) && (arity < 2 || sl.op1 <> None)
+      in
+      match pred_ok i ins with
+      | None -> ()
+      | Some false -> () (* squashed: counted as fetched-not-executed *)
+      | Some true ->
+        if not have_ops then ()
+        else begin
+          (* loads must wait for all lower-LSID stores *)
+          let defer =
+            match ins.op with
+            | Isa.Load (_, _, lsid) -> not (lower_stores_done lsid)
+            | _ -> false
+          in
+          if defer then begin
+            if not (List.mem i !pending_loads) then pending_loads := i :: !pending_loads
+          end
+          else begin
+            sl.has_fired <- true;
+            decr fuel;
+            if !fuel <= 0 then raise (Stuck (b.label, "out of fuel"));
+            let tok0 () = Option.get sl.op0 in
+            let tok1 () =
+              match ins.imm with
+              | Some v -> Val (Ty.Vi v)
+              | None -> Option.get sl.op1
+            in
+            (match ins.op with
+            | Isa.Bin op ->
+              let a = tok0 () and b2 = tok1 () in
+              (match (a, b2) with
+              | Val va, Val vb -> sl.value <- Val (Semantics.binop op va vb)
+              | _ -> raise (Stuck (b.label, "null operand in ALU op")));
+              if is_flop ins.op then stats.flops <- stats.flops + 1;
+              List.iter (deliver i sl.value) ins.targets
+            | Isa.Un op ->
+              (match tok0 () with
+              | Val v -> sl.value <- Val (Semantics.unop op v)
+              | Nul -> raise (Stuck (b.label, "null operand in ALU op")));
+              List.iter (deliver i sl.value) ins.targets
+            | Isa.Geni v ->
+              sl.value <- Val (Ty.Vi v);
+              List.iter (deliver i sl.value) ins.targets
+            | Isa.Genf v ->
+              sl.value <- Val (Ty.Vf v);
+              List.iter (deliver i sl.value) ins.targets
+            | Isa.Mov ->
+              sl.value <- tok0 ();
+              List.iter (deliver i sl.value) ins.targets
+            | Isa.Null ->
+              sl.value <- Nul;
+              List.iter (deliver i sl.value) ins.targets
+            | Isa.Load (ty, w, lsid) ->
+              stats.opn_et_dt <- stats.opn_et_dt + 1;
+              let addr =
+                Int64.to_int (token_int b.label (tok0 ()))
+                + (match ins.imm with Some v -> Int64.to_int v | None -> 0)
+              in
+              let v = load_value ty w lsid addr in
+              sl.value <- Val v;
+              List.iter (deliver i sl.value) ins.targets
+            | Isa.Store (w, lsid) ->
+              stats.opn_et_dt <- stats.opn_et_dt + 1;
+              (* the immediate on a store is an address displacement, not an
+                 operand substitute: data always arrives on op1 *)
+              let a = tok0 () and d = Option.get sl.op1 in
+              let nullified = a = Nul || d = Nul in
+              let addr =
+                if nullified then 0
+                else
+                  Int64.to_int (token_int b.label a)
+                  + (match ins.imm with Some v -> Int64.to_int v | None -> 0)
+              in
+              stores :=
+                { ps_inst = i; ps_lsid = lsid; ps_width = w; ps_addr = addr;
+                  ps_data = (if nullified then Nul else d) }
+                :: !stores;
+              incr stores_done;
+              (* a completed store may unblock deferred loads *)
+              let retry = !pending_loads in
+              pending_loads := [];
+              List.iter (fun j -> Queue.push j ready) retry
+            | Isa.Branch dest ->
+              stats.opn_et_gt <- stats.opn_et_gt + 1;
+              (match !exit_fired with
+              | Some _ -> raise (Stuck (b.label, "two branches fired"))
+              | None -> exit_fired := Some (i, dest)))
+          end
+        end
+  in
+  (* inject register reads *)
+  Array.iter
+    (fun (r : Block.read) ->
+      let v = regs.(r.rreg) in
+      List.iter (deliver (-1) (Val v)) r.rtargets)
+    b.reads;
+  (* zero-operand instructions are ready immediately *)
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      if Isa.operand_arity ins = 0 && ins.pred = Isa.Unpred then Queue.push i ready)
+    b.insts;
+  (* dataflow loop *)
+  let rec drain () =
+    if not (Queue.is_empty ready) then begin
+      let i = Queue.pop ready in
+      try_fire i;
+      drain ()
+    end
+    else if !pending_loads <> [] then begin
+      (* deferred loads whose guard may now pass *)
+      let ls = !pending_loads in
+      pending_loads := [];
+      let before = List.length ls in
+      List.iter (fun j -> Queue.push j ready) ls;
+      let rec step () =
+        if not (Queue.is_empty ready) then begin
+          let i = Queue.pop ready in
+          try_fire i;
+          step ()
+        end
+      in
+      step ();
+      if List.length !pending_loads >= before && Queue.is_empty ready then
+        raise (Stuck (b.label, "loads deadlocked on incomplete stores"))
+      else drain ()
+    end
+  in
+  drain ();
+  (* completeness checks *)
+  (match !exit_fired with
+  | None -> raise (Stuck (b.label, "no branch fired"))
+  | Some _ -> ());
+  if !stores_done <> !store_sites then
+    raise (Stuck (b.label, Printf.sprintf "only %d/%d stores completed" !stores_done !store_sites));
+  let committed_writes = !write_results in
+  let declared = Array.length b.writes in
+  let got = List.sort_uniq compare (List.map fst committed_writes) in
+  if List.length got <> declared then
+    raise (Stuck (b.label, Printf.sprintf "only %d/%d writes completed" (List.length got) declared));
+  if List.length committed_writes <> declared then
+    raise (Stuck (b.label, "a write slot received two values"));
+  (* commit stores in LSID order *)
+  let sorted_stores = List.sort (fun a b2 -> compare a.ps_lsid b2.ps_lsid) !stores in
+  List.iter
+    (fun ps ->
+      match ps.ps_data with
+      | Nul -> ()
+      | Val v -> Image.store image ps.ps_width ps.ps_addr v)
+    sorted_stores;
+  (* usefulness: reverse reachability from outputs over dynamic edges *)
+  let fired = Array.map (fun sl -> sl.has_fired) slots in
+  let useful = Array.make n false in
+  let stack = ref [] in
+  let push i = if i >= 0 && not useful.(i) then begin useful.(i) <- true; stack := i :: !stack end in
+  let exit_i, exit_dest = Option.get !exit_fired in
+  push exit_i;
+  (* write producers: any fired instruction with a To_write target *)
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      if fired.(i) && List.exists (function Isa.To_write _ -> true | _ -> false) ins.targets
+      then push i)
+    b.insts;
+  List.iter (fun ps -> push ps.ps_inst) !stores;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+      stack := rest;
+      let sl = slots.(i) in
+      push sl.src0;
+      push sl.src1;
+      push sl.srcp
+  done;
+  (* fold into stats *)
+  stats.blocks <- stats.blocks + 1;
+  stats.fetched <- stats.fetched + n;
+  stats.reads_fetched <- stats.reads_fetched + Array.length b.reads;
+  stats.writes_committed <- stats.writes_committed + declared;
+  let mem_events = ref [] in
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      if fired.(i) then begin
+        stats.executed <- stats.executed + 1;
+        (match Isa.classify ins.op with
+        | Isa.Karith -> stats.k_arith <- stats.k_arith + 1
+        | Isa.Kmemory -> stats.k_memory <- stats.k_memory + 1
+        | Isa.Kcontrol -> stats.k_control <- stats.k_control + 1
+        | Isa.Ktest -> stats.k_test <- stats.k_test + 1
+        | Isa.Kmove -> stats.k_move <- stats.k_move + 1);
+        if not useful.(i) then stats.executed_not_used <- stats.executed_not_used + 1
+        else (
+          match Isa.classify ins.op with
+          | Isa.Kmove -> ()
+          | _ -> stats.useful <- stats.useful + 1);
+        match ins.op with
+        | Isa.Load (_, w, lsid) ->
+          stats.loads_executed <- stats.loads_executed + 1;
+          let sl = slots.(i) in
+          let addr =
+            Int64.to_int (token_int b.label (Option.get sl.op0))
+            + (match ins.imm with Some v -> Int64.to_int v | None -> 0)
+          in
+          mem_events :=
+            { ev_inst = i; ev_lsid = lsid; ev_is_load = true; ev_addr = addr;
+              ev_width = w; ev_null = false }
+            :: !mem_events
+        | _ -> ()
+      end
+      else stats.not_executed <- stats.not_executed + 1)
+    b.insts;
+  List.iter
+    (fun ps ->
+      let nul = ps.ps_data = Nul in
+      if not nul then stats.stores_committed <- stats.stores_committed + 1;
+      mem_events :=
+        { ev_inst = ps.ps_inst; ev_lsid = ps.ps_lsid; ev_is_load = false;
+          ev_addr = ps.ps_addr; ev_width = ps.ps_width; ev_null = nul }
+        :: !mem_events)
+    !stores;
+  let mem_events = List.sort (fun a b2 -> compare a.ev_lsid b2.ev_lsid) !mem_events in
+  ( { iblock = b; fired; useful; exit_inst = exit_i; exit_dest; mem_events },
+    committed_writes )
+
+(* ------------------------------------------------------------------ *)
+(* Program execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(fuel = 400_000_000) ?on_instance ?debug_regs (p : Block.program)
+    (image : Image.t) ~entry ~args =
+  let stats = empty_stats () in
+  let fuel = ref fuel in
+  let regs = Array.make Isa.num_regs (Ty.Vi 0L) in
+  List.iteri
+    (fun i v ->
+      match List.nth_opt abi_arg_regs i with
+      | Some r -> regs.(r) <- v
+      | None -> invalid_arg "Exec.run: too many arguments")
+    args;
+  let blocks = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Block.func) ->
+      List.iter (fun (b : Block.t) -> Hashtbl.replace blocks b.label b) f.blocks)
+    p.funcs;
+  let entry_f = Block.find_func p entry in
+  (* call stack: saved register file + return label *)
+  let stack : (Ty.value array * string) list ref = ref [] in
+  let current = ref (Some entry_f.entry) in
+  let finished = ref None in
+  while !finished = None do
+    match !current with
+    | None -> assert false
+    | Some label ->
+      let b =
+        match Hashtbl.find_opt blocks label with
+        | Some b -> b
+        | None -> raise (Stuck (label, "unknown block"))
+      in
+      let instance, writes = exec_block ~stats ~fuel b regs image in
+      (* commit register writes *)
+      List.iter (fun (w, v) -> regs.(b.writes.(w).wreg) <- v) writes;
+      Option.iter (fun f -> f instance) on_instance;
+      Option.iter (fun f -> f label regs) debug_regs;
+      (match instance.exit_dest with
+      | Isa.Xjump l -> current := Some l
+      | Isa.Xcall (callee, retl) ->
+        let f = Block.find_func p callee in
+        stack := (Array.copy regs, retl) :: !stack;
+        current := Some f.entry
+      | Isa.Xret -> (
+        match !stack with
+        | [] -> finished := Some regs.(abi_ret_reg)
+        | (saved, retl) :: rest ->
+          let ret_v = regs.(abi_ret_reg) in
+          Array.blit saved 0 regs 0 (Array.length regs);
+          regs.(abi_ret_reg) <- ret_v;
+          stack := rest;
+          current := Some retl))
+  done;
+  { ret = !finished; stats }

@@ -1,0 +1,120 @@
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+
+let max_insts = 128
+let max_reads = 32
+let max_writes = 32
+let max_lsids = 32
+let max_exits = 8
+let num_regs = 128
+let reg_banks = 4
+
+type slot = Op0 | Op1 | OpPred
+
+type target =
+  | To_inst of int * slot
+  | To_write of int
+
+type predication =
+  | Unpred
+  | On_true of int
+  | On_false of int
+
+type exit_dest =
+  | Xjump of string
+  | Xcall of string * string
+  | Xret
+
+type opcode =
+  | Bin of Ast.binop
+  | Un of Ast.unop
+  | Geni of int64
+  | Genf of float
+  | Mov
+  | Null
+  | Load of Ty.t * Ty.width * int
+  | Store of Ty.width * int
+  | Branch of exit_dest
+
+type inst = {
+  op : opcode;
+  pred : predication;
+  imm : int64 option;
+  targets : target list;
+}
+
+type klass = Karith | Kmemory | Kcontrol | Ktest | Kmove
+
+let is_test (op : Ast.binop) =
+  match op with
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Ult | Ast.Ule
+  | Ast.Feq | Ast.Fne | Ast.Flt | Ast.Fle | Ast.Fgt | Ast.Fge ->
+    true
+  | _ -> false
+
+let classify = function
+  | Bin op -> if is_test op then Ktest else Karith
+  | Un _ | Geni _ | Genf _ -> Karith
+  | Mov | Null -> Kmove
+  | Load _ | Store _ -> Kmemory
+  | Branch _ -> Kcontrol
+
+let operand_arity i =
+  match i.op with
+  | Bin _ -> if i.imm = None then 2 else 1
+  | Un _ -> 1
+  | Geni _ | Genf _ -> 0
+  | Mov -> 1
+  | Null -> 0
+  | Load _ -> 1
+  | Store _ -> 2
+  | Branch _ -> 0
+
+let latency = function
+  | Bin op -> (
+    match op with
+    | Ast.Mul -> 3
+    | Ast.Div | Ast.Rem -> 24
+    | Ast.Fadd | Ast.Fsub -> 4
+    | Ast.Fmul -> 4
+    | Ast.Fdiv -> 24
+    | _ -> 1)
+  | Un op -> ( match op with Ast.Itof | Ast.Ftoi -> 4 | _ -> 1)
+  | Geni _ | Genf _ | Mov | Null -> 1
+  | Load _ -> 1 (* pipeline portion; cache latency added by the memory model *)
+  | Store _ -> 1
+  | Branch _ -> 1
+
+let slot_name = function Op0 -> "op0" | Op1 -> "op1" | OpPred -> "p"
+
+let pp_target ppf = function
+  | To_inst (i, s) -> Format.fprintf ppf "I%d.%s" i (slot_name s)
+  | To_write (w) -> Format.fprintf ppf "W%d" w
+
+let opcode_name = function
+  | Bin op -> (if is_test op then "t" else "") ^ Ast.binop_name op
+  | Un op -> Ast.unop_name op
+  | Geni v -> Printf.sprintf "geni %Ld" v
+  | Genf v -> Printf.sprintf "genf %g" v
+  | Mov -> "mov"
+  | Null -> "null"
+  | Load (t, w, lsid) ->
+    Printf.sprintf "ld.%s.%d #%d" (Ty.to_string t) (Ty.bytes_of_width w) lsid
+  | Store (w, lsid) -> Printf.sprintf "st.%d #%d" (Ty.bytes_of_width w) lsid
+  | Branch (Xjump l) -> "bro " ^ l
+  | Branch (Xcall (f, r)) -> Printf.sprintf "callo %s ret->%s" f r
+  | Branch Xret -> "ret"
+
+let pp_inst ppf i =
+  let pp_pred ppf = function
+    | Unpred -> ()
+    | On_true p -> Format.fprintf ppf "<t I%d> " p
+    | On_false p -> Format.fprintf ppf "<f I%d> " p
+  in
+  let pp_imm ppf = function
+    | None -> ()
+    | Some v -> Format.fprintf ppf " imm=%Ld" v
+  in
+  Format.fprintf ppf "%a%s%a -> %a" pp_pred i.pred (opcode_name i.op) pp_imm i.imm
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_target)
+    i.targets

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Isa_figs List Micro_figs Perf_figs Trips_util

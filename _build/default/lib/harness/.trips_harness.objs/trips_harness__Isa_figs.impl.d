@@ -1,0 +1,1 @@
+lib/harness/isa_figs.ml: Array Hashtbl List Platforms Trips_edge Trips_risc Trips_tir Trips_util Trips_workloads

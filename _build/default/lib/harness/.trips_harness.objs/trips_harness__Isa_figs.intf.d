@@ -1,0 +1,1 @@
+lib/harness/isa_figs.mli: Trips_util

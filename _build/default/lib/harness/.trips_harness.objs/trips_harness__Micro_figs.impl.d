@@ -1,0 +1,1 @@
+lib/harness/micro_figs.ml: Array Hashtbl List Option Platforms Trips_compiler Trips_edge Trips_noc Trips_predictor Trips_sim Trips_tir Trips_util Trips_workloads

@@ -1,0 +1,1 @@
+lib/harness/micro_figs.mli: Trips_util

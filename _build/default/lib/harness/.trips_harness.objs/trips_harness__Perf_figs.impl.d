@@ -1,0 +1,1 @@
+lib/harness/perf_figs.ml: List Platforms Printf Trips_edge Trips_limit Trips_mem Trips_sim Trips_superscalar Trips_util Trips_workloads

@@ -1,0 +1,1 @@
+lib/harness/perf_figs.mli: Trips_util

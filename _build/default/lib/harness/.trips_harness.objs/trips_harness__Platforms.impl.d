@@ -1,0 +1,1 @@
+lib/harness/platforms.ml: Hashtbl Obj Printf Trips_compiler Trips_edge Trips_limit Trips_risc Trips_sim Trips_superscalar Trips_tir Trips_workloads

@@ -1,0 +1,1 @@
+lib/harness/platforms.mli: Trips_edge Trips_limit Trips_risc Trips_sim Trips_superscalar Trips_workloads

@@ -1,0 +1,16 @@
+(** Registry of every reproduced table and figure.
+
+    [all] enumerates the experiments in paper order; [run] executes one by
+    id and returns the rendered table.  `bench/main.exe` iterates this
+    registry and `bin/trips_run.exe exp <id>` runs one interactively. *)
+
+type experiment = {
+  id : string;               (* e.g. "fig3", "table1" *)
+  title : string;
+  paper_claim : string;      (* the qualitative shape the paper reports *)
+  run : unit -> Trips_util.Table.t;
+}
+
+val all : experiment list
+val find : string -> experiment
+(** @raise Not_found for unknown ids. *)

@@ -1,0 +1,17 @@
+(** The ISA-evaluation experiments of §4.
+
+    - {!fig3}: TRIPS block size and composition for compiled and
+      hand-optimized code (Fig 3);
+    - {!fig4}: fetched TRIPS instructions normalized to the RISC baseline
+      (Fig 4);
+    - {!fig5}: storage accesses — memory and register/operand traffic —
+      normalized to the RISC baseline (Fig 5);
+    - {!codesize}: dynamic code size vs the RISC baseline (§4.4).
+
+    Each returns a printable table whose rows are also the data EXPERIMENTS.md
+    quotes. *)
+
+val fig3 : unit -> Trips_util.Table.t
+val fig4 : unit -> Trips_util.Table.t
+val fig5 : unit -> Trips_util.Table.t
+val codesize : unit -> Trips_util.Table.t

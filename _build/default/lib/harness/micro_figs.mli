@@ -1,0 +1,14 @@
+(** The microarchitecture-evaluation experiments of §5.
+
+    - {!fig6}: average instructions in flight in the 1K window (Fig 6);
+    - {!fig7}: next-block prediction breakdown for the four configurations
+      (conventional-on-basic-blocks, TRIPS-on-basic-blocks,
+      TRIPS-on-hyperblocks, improved-TRIPS-on-hyperblocks) with MPKI
+      (Fig 7);
+    - {!fig8}: achieved memory bandwidths on the hand-optimized vadd and
+      the OPN traffic/hop profile (Fig 8). *)
+
+val fig6 : unit -> Trips_util.Table.t
+val fig7 : unit -> Trips_util.Table.t
+val fig8 : unit -> Trips_util.Table.t
+val fig8_opn : unit -> Trips_util.Table.t

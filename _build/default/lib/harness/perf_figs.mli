@@ -1,0 +1,20 @@
+(** Performance experiments of §5.3 and §6.
+
+    - {!table1}: reference platform configurations (Table 1);
+    - {!fig9}: sustained IPC for compiled and hand-optimized code (Fig 9);
+    - {!fig10}: TRIPS vs the ideal EDGE machine (1K window / zero dispatch /
+      128K window) (Fig 10);
+    - {!fig11}: simple-benchmark speedups over the Core 2-gcc model
+      (Fig 11);
+    - {!fig12}: SPEC speedups over the Core 2-gcc model (Fig 12);
+    - {!table3}: SPEC event counters per 1000 useful instructions
+      (Table 3);
+    - {!flops}: matrix-multiply FLOPS-per-cycle comparison (§6). *)
+
+val table1 : unit -> Trips_util.Table.t
+val fig9 : unit -> Trips_util.Table.t
+val fig10 : unit -> Trips_util.Table.t
+val fig11 : unit -> Trips_util.Table.t
+val fig12 : unit -> Trips_util.Table.t
+val table3 : unit -> Trips_util.Table.t
+val flops : unit -> Trips_util.Table.t

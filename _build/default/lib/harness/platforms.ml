@@ -1,0 +1,102 @@
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+module Image = Trips_tir.Image
+module Registry = Trips_workloads.Registry
+module Driver = Trips_compiler.Driver
+module Exec = Trips_edge.Exec
+module Core = Trips_sim.Core
+module Ooo = Trips_superscalar.Ooo
+module Ideal = Trips_limit.Ideal
+module Risc = Trips_risc
+
+type quality = C | H
+
+exception Mismatch of string
+
+let quality_tag = function C -> "C" | H -> "H"
+
+let check name expected got =
+  if expected <> got then
+    raise
+      (Mismatch
+         (Printf.sprintf "%s: expected %s, got %s" name
+            (match expected with Some v -> Ty.value_to_string v | None -> "-")
+            (match got with Some v -> Ty.value_to_string v | None -> "-")))
+
+let table : (string, Obj.t) Hashtbl.t = Hashtbl.create 256
+
+let cached key f =
+  match Hashtbl.find_opt table key with
+  | Some v -> Obj.obj v
+  | None ->
+    let v = f () in
+    Hashtbl.replace table key (Obj.repr v);
+    v
+
+let clear_caches () = Hashtbl.reset table
+
+let edge_program q (b : Registry.bench) : Trips_edge.Block.program =
+  cached (Printf.sprintf "prog/%s/%s" (quality_tag q) b.Registry.name) (fun () ->
+      match (q, b.Registry.hand_edge) with
+      | H, Some prog -> prog
+      | H, None -> Driver.compile Driver.hand b.Registry.program
+      | C, _ -> Driver.compile Driver.compiled b.Registry.program)
+
+let edge_stats q (b : Registry.bench) : Exec.stats =
+  cached (Printf.sprintf "exec/%s/%s" (quality_tag q) b.Registry.name) (fun () ->
+      let prog = edge_program q b in
+      let image = Image.build b.Registry.program.Ast.globals in
+      let r = Exec.run prog image ~entry:"main" ~args:[] in
+      let exp_v, _ = Registry.golden b in
+      check (b.Registry.name ^ "/edge-" ^ quality_tag q) exp_v r.Exec.ret;
+      r.Exec.stats)
+
+let trips_with config ~tag q (b : Registry.bench) : Core.result =
+  cached (Printf.sprintf "trips/%s/%s/%s" tag (quality_tag q) b.Registry.name)
+    (fun () ->
+      let prog = edge_program q b in
+      let image = Image.build b.Registry.program.Ast.globals in
+      let r = Core.run ~config prog image ~entry:"main" ~args:[] in
+      let exp_v, _ = Registry.golden b in
+      check (b.Registry.name ^ "/trips-" ^ tag ^ quality_tag q) exp_v r.Core.ret;
+      r)
+
+let trips q b = trips_with Core.prototype ~tag:"proto" q b
+
+let risc ?(unroll = 1) (b : Registry.bench) : Risc.Exec.stats =
+  cached (Printf.sprintf "risc/u%d/%s" unroll b.Registry.name) (fun () ->
+      let prog = Risc.Codegen.compile ~unroll b.Registry.program in
+      let image = Image.build b.Registry.program.Ast.globals in
+      let r = Risc.Exec.run prog image ~entry:"main" ~args:[] in
+      let exp_v, _ = Registry.golden b in
+      check (b.Registry.name ^ "/risc") exp_v (Risc.Exec.ret_value r b.Registry.ret);
+      r.Risc.Exec.stats)
+
+let super (cfg : Ooo.config) ~icc (b : Registry.bench) : Ooo.result =
+  cached
+    (Printf.sprintf "super/%s/%s/%s" cfg.Ooo.name (if icc then "icc" else "gcc")
+       b.Registry.name)
+    (fun () ->
+      let unroll = if icc then 4 else 1 in
+      let prog = Risc.Codegen.compile ~unroll b.Registry.program in
+      let image = Image.build b.Registry.program.Ast.globals in
+      let r = Ooo.run cfg prog image ~entry:"main" ~args:[] in
+      let got =
+        match b.Registry.ret with
+        | None -> None
+        | Some Ty.I64 -> Some (Ty.Vi r.Ooo.ret_int)
+        | Some Ty.F64 -> Some (Ty.Vf r.Ooo.ret_flt)
+      in
+      let exp_v, _ = Registry.golden b in
+      check (b.Registry.name ^ "/" ^ cfg.Ooo.name) exp_v got;
+      r)
+
+let ideal (cfg : Ideal.config) ~tag q (b : Registry.bench) : Ideal.result =
+  cached (Printf.sprintf "ideal/%s/%s/%s" tag (quality_tag q) b.Registry.name)
+    (fun () ->
+      let prog = edge_program q b in
+      let image = Image.build b.Registry.program.Ast.globals in
+      let r = Ideal.run ~config:cfg prog image ~entry:"main" ~args:[] in
+      let exp_v, _ = Registry.golden b in
+      check (b.Registry.name ^ "/ideal-" ^ tag) exp_v r.Ideal.ret;
+      r)

@@ -1,0 +1,43 @@
+(** Shared experiment plumbing: compile and run every benchmark on every
+    modeled platform, memoizing results so each (benchmark, platform) pair
+    simulates once per process even though several figures consume it.
+
+    Every runner checks the architectural result against the interpreter's
+    golden value and raises if a pipeline miscomputes — experiments can
+    never silently report numbers from a broken simulation. *)
+
+type quality = C | H
+(** Code quality: the paper's compiled (C) and hand-optimized (H) bars.
+    [H] uses the aggressive compiler preset, or genuinely hand-written EDGE
+    code where the registry provides it (vadd). *)
+
+val edge_program : quality -> Trips_workloads.Registry.bench -> Trips_edge.Block.program
+
+val edge_stats : quality -> Trips_workloads.Registry.bench -> Trips_edge.Exec.stats
+(** Functional-execution statistics (Figs 3–5). *)
+
+val trips : quality -> Trips_workloads.Registry.bench -> Trips_sim.Core.result
+(** Cycle-level TRIPS prototype run (Figs 6, 8, 9, 11, 12, Table 3). *)
+
+val trips_with :
+  Trips_sim.Core.config -> tag:string -> quality -> Trips_workloads.Registry.bench ->
+  Trips_sim.Core.result
+(** TRIPS run under a non-default configuration (ablations). *)
+
+val risc : ?unroll:int -> Trips_workloads.Registry.bench -> Trips_risc.Exec.stats
+(** PowerPC-baseline counts (the gcc-shaped build; [unroll] for icc). *)
+
+val super :
+  Trips_superscalar.Ooo.config -> icc:bool -> Trips_workloads.Registry.bench ->
+  Trips_superscalar.Ooo.result
+(** Reference-platform cycle run; [icc] selects the more aggressively
+    optimized build. *)
+
+val ideal :
+  Trips_limit.Ideal.config -> tag:string -> quality ->
+  Trips_workloads.Registry.bench -> Trips_limit.Ideal.result
+
+exception Mismatch of string
+(** A pipeline produced a result different from the interpreter's. *)
+
+val clear_caches : unit -> unit

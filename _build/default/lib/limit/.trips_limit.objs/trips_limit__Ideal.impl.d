@@ -1,0 +1,1 @@
+lib/limit/ideal.ml: Array List Queue Trips_edge Trips_tir

@@ -1,0 +1,1 @@
+lib/limit/ideal.mli: Trips_edge Trips_tir

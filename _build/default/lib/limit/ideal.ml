@@ -1,0 +1,103 @@
+module Ty = Trips_tir.Ty
+module Isa = Trips_edge.Isa
+module Block = Trips_edge.Block
+module Exec = Trips_edge.Exec
+
+type config = {
+  window_insts : int;
+  dispatch_cost : int;
+  load_latency : int;
+}
+
+let trips_window = { window_insts = 1024; dispatch_cost = 8; load_latency = 2 }
+let zero_dispatch = { window_insts = 1024; dispatch_cost = 0; load_latency = 2 }
+let huge_window = { window_insts = 131072; dispatch_cost = 0; load_latency = 2 }
+
+type result = {
+  ret : Ty.value option;
+  cycles : int;
+  executed : int;
+}
+
+let run ?(config = trips_window) ?fuel (program : Block.program) image ~entry ~args =
+  let window_blocks = max 1 (config.window_insts / Isa.max_insts) in
+  let reg_ready = Array.make Isa.num_regs 0 in
+  let completion_ring = Array.make window_blocks 0 in
+  let seq = ref 0 in
+  let next_start = ref 0 in
+  let final = ref 0 in
+  let executed = ref 0 in
+  let on_instance (inst : Exec.instance) =
+    let b = inst.Exec.iblock in
+    let n = Array.length b.Block.insts in
+    let fired = inst.Exec.fired in
+    let start =
+      let w =
+        if !seq >= window_blocks then completion_ring.(!seq mod window_blocks) else 0
+      in
+      max !next_start w
+    in
+    next_start := start + config.dispatch_cost;
+    (* dataflow: no contention, no routing; operands arrive the cycle the
+       producer completes *)
+    let ready = Array.make n [] in
+    let needed = Array.make n 0 in
+    let complete = Array.make n (-1) in
+    let q = Queue.create () in
+    Array.iteri
+      (fun i ins ->
+        if fired.(i) then begin
+          needed.(i) <-
+            Isa.operand_arity ins
+            + (match ins.Isa.pred with Isa.Unpred -> 0 | _ -> 1);
+          if needed.(i) = 0 then Queue.push i q
+        end)
+      b.Block.insts;
+    let writes = ref [] in
+    let arrive j t =
+      if fired.(j) then begin
+        ready.(j) <- t :: ready.(j);
+        if List.length ready.(j) = needed.(j) then Queue.push j q
+      end
+    in
+    Array.iter
+      (fun (r : Block.read) ->
+        let avail = max start reg_ready.(r.Block.rreg) in
+        List.iter
+          (function
+            | Isa.To_inst (j, _) -> arrive j avail
+            | Isa.To_write w -> writes := (b.Block.writes.(w).Block.wreg, avail) :: !writes)
+          r.Block.rtargets)
+      b.Block.reads;
+    let block_done = ref start in
+    while not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      if complete.(i) < 0 then begin
+        incr executed;
+        let ins = b.Block.insts.(i) in
+        let ready_t = List.fold_left max start ready.(i) in
+        let lat =
+          match ins.Isa.op with
+          | Isa.Load _ -> config.load_latency
+          | op -> Isa.latency op
+        in
+        let done_t = ready_t + lat in
+        complete.(i) <- done_t;
+        if done_t > !block_done then block_done := done_t;
+        List.iter
+          (function
+            | Isa.To_inst (j, _) -> arrive j done_t
+            | Isa.To_write w ->
+              writes := (b.Block.writes.(w).Block.wreg, done_t) :: !writes)
+          ins.Isa.targets
+      end
+    done;
+    List.iter (fun (reg, t) -> reg_ready.(reg) <- t) !writes;
+    completion_ring.(!seq mod window_blocks) <- !block_done;
+    incr seq;
+    if !block_done > !final then final := !block_done
+  in
+  let r = Exec.run ?fuel ~on_instance program image ~entry ~args in
+  { ret = r.Exec.ret; cycles = max 1 !final; executed = !executed }
+
+let ipc r = float_of_int r.executed /. float_of_int (max 1 r.cycles)

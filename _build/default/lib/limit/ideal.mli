@@ -1,0 +1,35 @@
+(** Idealized EDGE machine for the ILP limit study (§5.3, Fig 10).
+
+    Perfect next-block prediction, perfect caches (fixed short load
+    latency), infinite execution resources, and zero inter-tile delay; the
+    only constraints are true dataflow dependences, the instruction window
+    size, and an optional per-block dispatch cost (the paper uses a new
+    block at most every eight cycles, and also reports the zero-cost
+    variant and a 128K-instruction window). *)
+
+type config = {
+  window_insts : int;           (* 1024 in Fig 10; 128K for the annotations *)
+  dispatch_cost : int;          (* cycles between block starts: 8 or 0 *)
+  load_latency : int;           (* perfect-cache load-to-use, 2 cycles *)
+}
+
+val trips_window : config       (* 1K window, 8-cycle dispatch *)
+val zero_dispatch : config      (* 1K window, free dispatch *)
+val huge_window : config        (* 128K window, free dispatch *)
+
+type result = {
+  ret : Trips_tir.Ty.value option;
+  cycles : int;
+  executed : int;
+}
+
+val run :
+  ?config:config ->
+  ?fuel:int ->
+  Trips_edge.Block.program ->
+  Trips_tir.Image.t ->
+  entry:string ->
+  args:Trips_tir.Ty.value list ->
+  result
+
+val ipc : result -> float

@@ -1,0 +1,1 @@
+lib/mem/hier.ml: Cache Option

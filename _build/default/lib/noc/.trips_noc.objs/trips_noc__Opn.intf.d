@@ -1,0 +1,1 @@
+lib/noc/opn.mli:

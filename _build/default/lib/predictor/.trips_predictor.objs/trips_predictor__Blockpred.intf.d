@@ -1,0 +1,1 @@
+lib/predictor/blockpred.mli: Target

@@ -1,0 +1,1 @@
+lib/predictor/depend.ml: Array

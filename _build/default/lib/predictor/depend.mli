@@ -1,0 +1,13 @@
+(** Store-load dependence predictor: the partitioned load-wait table the
+    data tiles use (§5.1).  A load that once issued past a conflicting
+    earlier store has its entry set and afterwards waits for all earlier
+    stores; the table is cleared periodically so stale entries do not
+    serialize forever. *)
+
+type t
+
+val create : ?entries:int -> ?decay_interval:int -> unit -> t
+(** Defaults: 1024 entries, decay every 100k accesses. *)
+
+val should_wait : t -> load_id:int -> bool
+val record_violation : t -> load_id:int -> unit

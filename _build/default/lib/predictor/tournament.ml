@@ -1,0 +1,64 @@
+type config = {
+  local_entries : int;
+  local_hist_bits : int;
+  global_hist_bits : int;
+}
+
+let alpha_like = { local_entries = 1024; local_hist_bits = 10; global_hist_bits = 12 }
+
+type t = {
+  cfg : config;
+  local_hist : int array;       (* per-branch history *)
+  local_ctr : int array;        (* 3-bit counters indexed by local history *)
+  global_ctr : int array;       (* 2-bit counters indexed by global history *)
+  choice : int array;           (* 2-bit: 0..1 trust global, 2..3 trust local *)
+  mutable ghist : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    local_hist = Array.make cfg.local_entries 0;
+    local_ctr = Array.make (1 lsl cfg.local_hist_bits) 3;
+    global_ctr = Array.make (1 lsl cfg.global_hist_bits) 1;
+    choice = Array.make (1 lsl cfg.global_hist_bits) 1;
+    ghist = 0;
+  }
+
+let lmask cfg = cfg.local_entries - 1
+let gmask cfg = (1 lsl cfg.global_hist_bits) - 1
+
+let components t ~pc =
+  let li = pc land lmask t.cfg in
+  let lh = t.local_hist.(li) land ((1 lsl t.cfg.local_hist_bits) - 1) in
+  let gi = t.ghist land gmask t.cfg in
+  (li, lh, gi)
+
+let predict t ~pc =
+  let _, lh, gi = components t ~pc in
+  let local_taken = t.local_ctr.(lh) >= 4 in
+  let global_taken = t.global_ctr.(gi) >= 2 in
+  if t.choice.(gi) >= 2 then local_taken else global_taken
+
+let bump arr i ~max ~up =
+  if up then (if arr.(i) < max then arr.(i) <- arr.(i) + 1)
+  else if arr.(i) > 0 then arr.(i) <- arr.(i) - 1
+
+let update t ~pc ~taken =
+  let li, lh, gi = components t ~pc in
+  let local_taken = t.local_ctr.(lh) >= 4 in
+  let global_taken = t.global_ctr.(gi) >= 2 in
+  (* train the chooser toward whichever component was right *)
+  if local_taken <> global_taken then
+    bump t.choice gi ~max:3 ~up:(local_taken = taken);
+  bump t.local_ctr lh ~max:7 ~up:taken;
+  bump t.global_ctr gi ~max:3 ~up:taken;
+  t.local_hist.(li) <- ((t.local_hist.(li) lsl 1) lor Bool.to_int taken)
+                       land ((1 lsl t.cfg.local_hist_bits) - 1);
+  t.ghist <- ((t.ghist lsl 1) lor Bool.to_int taken) land gmask t.cfg
+
+let storage_bits cfg =
+  (cfg.local_entries * cfg.local_hist_bits)
+  + (3 * (1 lsl cfg.local_hist_bits))
+  + (2 * (1 lsl cfg.global_hist_bits))
+  + (2 * (1 lsl cfg.global_hist_bits))

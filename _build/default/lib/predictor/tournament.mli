@@ -1,0 +1,26 @@
+(** Alpha 21264-style tournament direction predictor.
+
+    A local component (per-branch history indexing a table of 3-bit
+    counters), a global component (path history indexing 2-bit counters) and
+    a chooser that learns, per global history, which component to trust —
+    the configuration the paper uses as its conventional baseline in Fig 7
+    (config A) and inside the superscalar reference models. *)
+
+type config = {
+  local_entries : int;        (* local history table entries (power of 2) *)
+  local_hist_bits : int;
+  global_hist_bits : int;     (* also sizes the global and choice tables *)
+}
+
+val alpha_like : config
+(** 1K local histories of 10 bits, 4K-entry global and choice tables. *)
+
+type t
+
+val create : config -> t
+val predict : t -> pc:int -> bool
+val update : t -> pc:int -> taken:bool -> unit
+(** Call after {!predict} for the same branch, in program order. *)
+
+val storage_bits : config -> int
+(** Total predictor state, for the paper's size comparisons. *)

@@ -1,0 +1,1 @@
+lib/risc/codegen.ml: Array Hashtbl Int Int64 Isa List Map Option Set Trips_tir

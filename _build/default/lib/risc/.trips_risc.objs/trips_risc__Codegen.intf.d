@@ -1,0 +1,1 @@
+lib/risc/codegen.mli: Isa Trips_tir

@@ -1,0 +1,1 @@
+lib/risc/exec.ml: Array Hashtbl Int64 Isa List Printf Trips_tir

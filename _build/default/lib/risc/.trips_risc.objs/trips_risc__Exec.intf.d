@@ -1,0 +1,1 @@
+lib/risc/exec.mli: Isa Trips_tir

@@ -1,0 +1,1 @@
+lib/risc/isa.ml: Array Format Fun List Trips_tir

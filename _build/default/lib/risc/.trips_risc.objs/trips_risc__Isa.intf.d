@@ -1,0 +1,1 @@
+lib/risc/isa.mli: Format Trips_tir

@@ -1,0 +1,594 @@
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+module Cfg = Trips_tir.Cfg
+module Lower = Trips_tir.Lower
+module Opt = Trips_tir.Opt
+module Transform = Trips_tir.Transform
+module Image = Trips_tir.Image
+
+module IM = Map.Make (Int)
+module IS = Set.Make (Int)
+
+let fits16 n = n >= -32768L && n < 32768L
+
+(* ------------------------------------------------------------------ *)
+(* Register class inference                                            *)
+(* ------------------------------------------------------------------ *)
+
+type rclass = Ci_ | Cf_
+
+let float_binop (op : Ast.binop) =
+  match op with
+  | Ast.Fadd | Ast.Fsub | Ast.Fmul | Ast.Fdiv -> true
+  | _ -> false
+
+(* float compares read the float file but write an integer register *)
+let float_srcs (op : Ast.binop) =
+  match op with
+  | Ast.Fadd | Ast.Fsub | Ast.Fmul | Ast.Fdiv
+  | Ast.Feq | Ast.Fne | Ast.Flt | Ast.Fle | Ast.Fgt | Ast.Fge ->
+    true
+  | _ -> false
+
+let unop_src_float (op : Ast.unop) =
+  match op with Ast.Ftoi | Ast.Fneg -> true | Ast.Itof -> false | _ -> false
+
+(* fixpoint over moves: a vreg is float if any def produces a float;
+   [ret_ty] gives callee return types so call destinations are classed *)
+let infer_classes ~ret_ty (f : Cfg.func) : rclass array =
+  let cls = Array.make (max 1 f.next_vreg) Ci_ in
+  List.iter (fun (r, t) -> if t = Ty.F64 then cls.(r) <- Cf_) f.params;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let mark d c = if cls.(d) <> c && c = Cf_ then begin cls.(d) <- Cf_; changed := true end in
+    List.iter
+      (fun (b : Cfg.block) ->
+        List.iter
+          (fun ins ->
+            match ins with
+            | Cfg.Bin (op, d, _, _) when float_binop op -> mark d Cf_
+            | Cfg.Un (op, d, _) -> (
+              match op with Ast.Itof | Ast.Fneg -> mark d Cf_ | _ -> ())
+            | Cfg.Load (Ty.F64, _, d, _, _) -> mark d Cf_
+            | Cfg.Mov (d, Cfg.Cf _) -> mark d Cf_
+            | Cfg.Mov (d, Cfg.Reg s) -> if cls.(s) = Cf_ then mark d Cf_
+            | Cfg.Call (Some d, callee, _) -> (
+              match ret_ty callee with Some Ty.F64 -> mark d Cf_ | _ -> ())
+            | _ -> ())
+          b.ins)
+      f.blocks
+  done;
+  cls
+
+(* ------------------------------------------------------------------ *)
+(* Liveness and interference                                           *)
+(* ------------------------------------------------------------------ *)
+
+let block_liveness (f : Cfg.func) =
+  let use = Hashtbl.create 16 and def = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      let u = ref IS.empty and d = ref IS.empty in
+      let see_use = function Cfg.Reg r when not (IS.mem r !d) -> u := IS.add r !u | _ -> () in
+      List.iter
+        (fun ins ->
+          List.iter see_use (Cfg.uses ins);
+          List.iter (fun r -> d := IS.add r !d) (Cfg.defs ins))
+        b.ins;
+      List.iter see_use (Cfg.term_uses b.term);
+      Hashtbl.replace use b.label !u;
+      Hashtbl.replace def b.label !d)
+    f.blocks;
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      Hashtbl.replace live_in b.label IS.empty;
+      Hashtbl.replace live_out b.label IS.empty)
+    f.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Cfg.block) ->
+        let out =
+          List.fold_left
+            (fun acc l ->
+              match Hashtbl.find_opt live_in l with Some s -> IS.union acc s | None -> acc)
+            IS.empty (Cfg.successors b.term)
+        in
+        let inn =
+          IS.union (Hashtbl.find use b.label) (IS.diff out (Hashtbl.find def b.label))
+        in
+        if not (IS.equal out (Hashtbl.find live_out b.label)) then begin
+          Hashtbl.replace live_out b.label out;
+          changed := true
+        end;
+        if not (IS.equal inn (Hashtbl.find live_in b.label)) then begin
+          Hashtbl.replace live_in b.label inn;
+          changed := true
+        end)
+      f.blocks
+  done;
+  live_out
+
+(* Interference by backward scan inside each block. *)
+let interference (f : Cfg.func) =
+  let live_out = block_liveness f in
+  let interf : (int, IS.t) Hashtbl.t = Hashtbl.create 64 in
+  let edge a b =
+    if a <> b then begin
+      let add x y =
+        Hashtbl.replace interf x
+          (IS.add y (Option.value ~default:IS.empty (Hashtbl.find_opt interf x)))
+      in
+      add a b;
+      add b a
+    end
+  in
+  let entry_label = match f.blocks with [] -> "" | b :: _ -> b.Cfg.label in
+  List.iter
+    (fun (b : Cfg.block) ->
+      let live = ref (Hashtbl.find live_out b.label) in
+      List.iter (function Cfg.Reg r -> live := IS.add r !live | _ -> ()) (Cfg.term_uses b.term);
+      List.iter
+        (fun ins ->
+          let defs = Cfg.defs ins in
+          List.iter (fun d -> IS.iter (fun l -> edge d l) !live) defs;
+          List.iter (fun d -> live := IS.remove d !live) defs;
+          List.iter (function Cfg.Reg r -> live := IS.add r !live | _ -> ()) (Cfg.uses ins))
+        (List.rev b.ins);
+      (* parameters are defined "before" the entry block: they interfere
+         with everything live at function entry, including each other *)
+      if b.Cfg.label = entry_label then begin
+        let params = List.map fst f.params in
+        List.iter
+          (fun p ->
+            IS.iter (fun l -> edge p l) !live;
+            List.iter (fun q -> edge p q) params)
+          params
+      end)
+    f.blocks;
+  interf
+
+type assignment = Reg of int | Spill of int
+
+let allocate (f : Cfg.func) (cls : rclass array) :
+    assignment array * int (* frame slots *) =
+  let interf = interference f in
+  let assign = Array.make (max 1 f.next_vreg) (Spill (-1)) in
+  let all_vregs =
+    let s = ref IS.empty in
+    List.iter
+      (fun (b : Cfg.block) ->
+        List.iter
+          (fun ins ->
+            List.iter (fun d -> s := IS.add d !s) (Cfg.defs ins);
+            List.iter (function Cfg.Reg r -> s := IS.add r !s | _ -> ()) (Cfg.uses ins))
+          b.ins;
+        List.iter (function Cfg.Reg r -> s := IS.add r !s | _ -> ()) (Cfg.term_uses b.term))
+      f.blocks;
+    List.iter (fun (p, _) -> s := IS.add p !s) f.params;
+    !s
+  in
+  let nodes =
+    IS.elements all_vregs
+    |> List.sort (fun a b ->
+           let deg v = IS.cardinal (Option.value ~default:IS.empty (Hashtbl.find_opt interf v)) in
+           compare (deg b) (deg a))
+  in
+  let next_slot = ref 0 in
+  List.iter
+    (fun v ->
+      let pool = if cls.(v) = Cf_ then Isa.allocatable_flt else Isa.allocatable_int in
+      (* exclude the return-value registers: they are clobbered by calls *)
+      let pool = List.filter (fun r -> r <> Isa.abi_int_ret && r <> Isa.abi_flt_ret) pool in
+      let neighbors = Option.value ~default:IS.empty (Hashtbl.find_opt interf v) in
+      let taken =
+        IS.fold
+          (fun n acc ->
+            if cls.(n) = cls.(v) then
+              match assign.(n) with Reg r -> IS.add r acc | Spill _ -> acc
+            else acc)
+          neighbors IS.empty
+      in
+      match List.find_opt (fun r -> not (IS.mem r taken)) pool with
+      | Some r -> assign.(v) <- Reg r
+      | None ->
+        let s = !next_slot in
+        incr next_slot;
+        assign.(v) <- Spill s)
+    nodes;
+  (assign, !next_slot)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction selection and emission                                  *)
+(* ------------------------------------------------------------------ *)
+
+type emitter = {
+  mutable out : Isa.ins list;              (* reversed *)
+  mutable count : int;
+  mutable label_at : (string * int) list;  (* label -> code index *)
+  mutable fixups : (int * string * string option) list;
+      (* code index, target label, fall-through label (for Bc) *)
+  assign : assignment array;
+  cls : rclass array;
+  layout : (string * int) list;
+  pool : (float, int) Hashtbl.t;           (* float constant -> pool addr *)
+  mutable pool_next : int ref;
+}
+
+let emit e ins =
+  e.out <- ins :: e.out;
+  e.count <- e.count + 1
+
+let pool_addr e v =
+  match Hashtbl.find_opt e.pool v with
+  | Some a -> a
+  | None ->
+    let a = !(e.pool_next) in
+    e.pool_next := a + 8;
+    Hashtbl.replace e.pool v a;
+    a
+
+(* Materialize an integer constant into [d]. *)
+let emit_const e d n =
+  if fits16 n then emit e (Isa.Li (d, n))
+  else begin
+    let lo = Int64.logand n 0xFFFFL in
+    let hi = Int64.shift_right n 16 in
+    if hi >= -32768L && hi < 32768L then begin
+      (* exact lis/ori reconstruction of any 32-bit value *)
+      emit e (Isa.Lis (d, hi));
+      if lo <> 0L then emit e (Isa.Ori (d, d, lo))
+    end
+    else begin
+      (* wider constants: the value rides on Li for simulation fidelity,
+         with ori padding charging the realistic instruction count *)
+      emit e (Isa.Li (d, n));
+      emit e (Isa.Ori (d, d, 0L));
+      emit e (Isa.Ori (d, d, 0L))
+    end
+  end
+
+let spill_off slot = 16 + (slot * 8)   (* [r1 + off] *)
+
+(* Bring a vreg into a physical register, spilling through scratch. *)
+let load_vreg e v ~scratch =
+  match e.assign.(v) with
+  | Reg r -> r
+  | Spill s ->
+    if e.cls.(v) = Cf_ then begin
+      emit e (Isa.Lw (Ty.F64, Ty.W8, scratch, 1, spill_off s));
+      scratch
+    end
+    else begin
+      emit e (Isa.Lw (Ty.I64, Ty.W8, scratch, 1, spill_off s));
+      scratch
+    end
+
+let store_vreg e v ~from =
+  match e.assign.(v) with
+  | Reg r -> if r <> from then emit e (if e.cls.(v) = Cf_ then Isa.Fmr (r, from) else Isa.Mr (r, from))
+  | Spill s ->
+    let t = if e.cls.(v) = Cf_ then Ty.F64 else Ty.I64 in
+    emit e (Isa.Sw (t, Ty.W8, 1, spill_off s, from))
+
+(* Destination register for a def: real register or scratch (stored after). *)
+let def_reg e v ~scratch =
+  match e.assign.(v) with Reg r -> r | Spill _ -> scratch
+
+let finish_def e v ~used =
+  match e.assign.(v) with
+  | Reg _ -> ()
+  | Spill s ->
+    let t = if e.cls.(v) = Cf_ then Ty.F64 else Ty.I64 in
+    emit e (Isa.Sw (t, Ty.W8, 1, spill_off s, used))
+
+(* Operand into a register of the right class. *)
+let operand_reg e (o : Cfg.operand) ~scratch =
+  match o with
+  | Cfg.Reg v -> load_vreg e v ~scratch
+  | Cfg.Ci n ->
+    emit_const e scratch n;
+    scratch
+  | Cfg.Cf x ->
+    emit e (Isa.Lfc (scratch, x, pool_addr e x));
+    scratch
+  | Cfg.Sym s ->
+    let addr = List.assoc s e.layout in
+    emit_const e scratch (Int64.of_int addr);
+    scratch
+
+(* Parallel-move resolution with one temporary: repeatedly emit any move
+   whose destination is no other pending move's source; break cycles by
+   rotating through the scratch register. *)
+let parallel_moves moves ~scratch ~emit_move =
+  let pending = ref (List.filter (fun (d, s) -> d <> s) moves) in
+  while !pending <> [] do
+    let is_source r = List.exists (fun (_, s) -> s = r) !pending in
+    match List.find_opt (fun (d, _) -> not (is_source d)) !pending with
+    | Some ((d, s) as m) ->
+      emit_move d s;
+      pending := List.filter (fun m' -> m' <> m) !pending
+    | None -> (
+      match !pending with
+      | (d, s) :: rest ->
+        emit_move scratch s;
+        pending := rest @ [ (d, scratch) ]
+      | [] -> ())
+  done
+
+let compile ?(optimize = true) ?(unroll = 1) ?(inline = true) (p : Ast.program) :
+    Isa.program =
+  let p = if inline then Transform.inline p else p in
+  let p = if unroll > 1 then Transform.unroll_program ~factor:unroll p else p in
+  let cfg = Lower.program p in
+  if optimize then Opt.run_program cfg;
+  let layout = Image.layout cfg.Cfg.globals in
+  (* place the constant pool after the globals *)
+  let pool_base =
+    List.fold_left (fun acc (_, a) -> max acc (a + 4096)) 0x1000 layout
+  in
+  let pool_next = ref pool_base in
+  let pool_tbl = Hashtbl.create 16 in
+  let ret_ty callee =
+    match List.find_opt (fun (f : Cfg.func) -> f.Cfg.name = callee) cfg.Cfg.funcs with
+    | Some f -> f.Cfg.ret
+    | None -> None
+  in
+  let compile_func (f : Cfg.func) : Isa.func =
+    let cls = infer_classes ~ret_ty f in
+    let assign, nslots = allocate f cls in
+    let e =
+      {
+        out = []; count = 0; label_at = []; fixups = [];
+        assign; cls; layout; pool = pool_tbl; pool_next = pool_next;
+      }
+    in
+    let s1, s2 = Isa.scratch_int in
+    let f1, f2 = Isa.scratch_flt in
+    let scr v = if cls.(v) = Cf_ then f1 else s1 in
+    (* Callee-saved registers this function writes: real PowerPC code saves
+       them in the prologue and reloads them at returns.  The simulator's
+       call checkpoint makes these semantically inert, but the instruction
+       and memory-access counts they contribute are the register-save
+       traffic the paper's Fig 5 compares against. *)
+    let saves =
+      let seen = Hashtbl.create 8 in
+      Array.iteri
+        (fun v a ->
+          match a with
+          | Reg r -> Hashtbl.replace seen (cls.(v) = Cf_, r) ()
+          | Spill _ -> ())
+        assign;
+      Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+    in
+    let nsaves = List.length saves in
+    let frame = 16 + (nslots * 8) + (nsaves * 8) in
+    let has_frame = nslots > 0 || nsaves > 0 in
+    let save_off k = 16 + (nslots * 8) + (k * 8) in
+    (* prologue: frame, callee-saves, parameter binding *)
+    if has_frame then emit e (Isa.Opi (Ast.Sub, 1, 1, Int64.of_int frame));
+    List.iteri
+      (fun k (is_f, r) ->
+        emit e (Isa.Sw ((if is_f then Ty.F64 else Ty.I64), Ty.W8, 1, save_off k, r)))
+      saves;
+    (* Bind parameters from the ABI registers.  Spill-stores cannot clobber
+       registers, so they go first; register-to-register bindings form a
+       parallel move (a later move's source may be an earlier move's
+       destination). *)
+    let int_args = ref Isa.abi_int_args and flt_args = ref Isa.abi_flt_args in
+    let par_int = ref [] and par_flt = ref [] in
+    List.iter
+      (fun (pv, t) ->
+        let src =
+          match t with
+          | Ty.F64 ->
+            let r = List.hd !flt_args in
+            flt_args := List.tl !flt_args;
+            r
+          | Ty.I64 ->
+            let r = List.hd !int_args in
+            int_args := List.tl !int_args;
+            r
+        in
+        match e.assign.(pv) with
+        | Spill _ -> store_vreg e pv ~from:src
+        | Reg rd ->
+          if t = Ty.F64 then par_flt := (rd, src) :: !par_flt
+          else par_int := (rd, src) :: !par_int)
+      f.params;
+    parallel_moves (List.rev !par_int) ~scratch:s1 ~emit_move:(fun d s ->
+        emit e (Isa.Mr (d, s)));
+    parallel_moves (List.rev !par_flt) ~scratch:f1 ~emit_move:(fun d s ->
+        emit e (Isa.Fmr (d, s)));
+    let emit_ins (ins : Cfg.ins) =
+      match ins with
+      | Cfg.Bin (op, d, a, b) -> (
+        let a, b =
+          match (a, b) with
+          | Cfg.Ci n, other
+            when fits16 n
+                 && (match op with
+                    | Ast.Add | Ast.Mul | Ast.And | Ast.Or | Ast.Xor -> true
+                    | _ -> false) ->
+            (other, Cfg.Ci n)
+          | _ -> (a, b)
+        in
+        let float_op = float_srcs op in
+        let sa = if float_op then f1 else s1 in
+        let sb = if float_op then f2 else s2 in
+        (* compares on floats write an integer register *)
+        let dst_scratch = if cls.(d) = Cf_ then f2 else s2 in
+        match b with
+        | Cfg.Ci n when fits16 n && not float_op ->
+          let ra = operand_reg e a ~scratch:sa in
+          let rd = def_reg e d ~scratch:dst_scratch in
+          emit e (Isa.Opi (op, rd, ra, n));
+          finish_def e d ~used:rd
+        | _ ->
+          let ra = operand_reg e a ~scratch:sa in
+          let rb = operand_reg e b ~scratch:sb in
+          let rd = def_reg e d ~scratch:dst_scratch in
+          emit e (Isa.Op (op, rd, ra, rb));
+          finish_def e d ~used:rd)
+      | Cfg.Un (op, d, a) ->
+        let src_scratch = if unop_src_float op then f1 else s1 in
+        let ra = operand_reg e a ~scratch:src_scratch in
+        let rd = def_reg e d ~scratch:(if cls.(d) = Cf_ then f2 else s2) in
+        emit e (Isa.Unop (op, rd, ra));
+        finish_def e d ~used:rd
+      | Cfg.Mov (d, src) -> (
+        match src with
+        | Cfg.Reg sv when e.assign.(sv) = e.assign.(d) && cls.(sv) = cls.(d) -> ()
+        | _ ->
+          let rs = operand_reg e src ~scratch:(scr d) in
+          (match e.assign.(d) with
+          | Reg rd ->
+            if rd <> rs then
+              emit e (if cls.(d) = Cf_ then Isa.Fmr (rd, rs) else Isa.Mr (rd, rs))
+          | Spill _ -> finish_def e d ~used:rs))
+      | Cfg.Load (t, w, d, a, off) ->
+        let ra = operand_reg e a ~scratch:s1 in
+        let rd = def_reg e d ~scratch:(if t = Ty.F64 then f2 else s2) in
+        emit e (Isa.Lw (t, w, rd, ra, off));
+        finish_def e d ~used:rd
+      | Cfg.Store (w, a, off, v) ->
+        let ra = operand_reg e a ~scratch:s1 in
+        let vfloat =
+          match v with
+          | Cfg.Reg sv -> cls.(sv) = Cf_
+          | Cfg.Cf _ -> true
+          | _ -> false
+        in
+        let rv = operand_reg e v ~scratch:(if vfloat then f2 else s2) in
+        emit e (Isa.Sw ((if vfloat then Ty.F64 else Ty.I64), w, ra, off, rv))
+      | Cfg.Call (dst, fname, args) ->
+        (* classify argument positions by class *)
+        let int_args = ref Isa.abi_int_args and flt_args = ref Isa.abi_flt_args in
+        let moves_int = ref [] and moves_flt = ref [] in
+        let extra = ref [] in
+        List.iter
+          (fun a ->
+            let is_f =
+              match a with
+              | Cfg.Cf _ -> true
+              | Cfg.Reg v -> cls.(v) = Cf_
+              | _ -> false
+            in
+            if is_f then begin
+              let dst = List.hd !flt_args in
+              flt_args := List.tl !flt_args;
+              match a with
+              | Cfg.Reg v -> (
+                match e.assign.(v) with
+                | Reg r -> moves_flt := (dst, r) :: !moves_flt
+                | Spill _ -> extra := (`F dst, a) :: !extra)
+              | _ -> extra := (`F dst, a) :: !extra
+            end
+            else begin
+              let dst = List.hd !int_args in
+              int_args := List.tl !int_args;
+              match a with
+              | Cfg.Reg v -> (
+                match e.assign.(v) with
+                | Reg r -> moves_int := (dst, r) :: !moves_int
+                | Spill _ -> extra := (`I dst, a) :: !extra)
+              | _ -> extra := (`I dst, a) :: !extra
+            end)
+          args;
+        parallel_moves (List.rev !moves_int) ~scratch:s1 ~emit_move:(fun d s ->
+            emit e (Isa.Mr (d, s)));
+        parallel_moves (List.rev !moves_flt) ~scratch:f1 ~emit_move:(fun d s ->
+            emit e (Isa.Fmr (d, s)));
+        List.iter
+          (fun (dst, a) ->
+            match dst with
+            | `I d ->
+              let r = operand_reg e a ~scratch:s1 in
+              if r <> d then emit e (Isa.Mr (d, r))
+            | `F d ->
+              let r = operand_reg e a ~scratch:f1 in
+              if r <> d then emit e (Isa.Fmr (d, r)))
+          (List.rev !extra);
+        emit e (Isa.Call fname);
+        (match dst with
+        | None -> ()
+        | Some d ->
+          if cls.(d) = Cf_ then store_vreg e d ~from:Isa.abi_flt_ret
+          else store_vreg e d ~from:Isa.abi_int_ret)
+    in
+    let blocks = f.blocks in
+    let nblocks = List.length blocks in
+    List.iteri
+      (fun bi (b : Cfg.block) ->
+        e.label_at <- (b.label, e.count) :: e.label_at;
+        List.iter emit_ins b.ins;
+        let next_label =
+          if bi + 1 < nblocks then Some (List.nth blocks (bi + 1)).Cfg.label else None
+        in
+        match b.term with
+        | Cfg.Ret v ->
+          (match v with
+          | None -> ()
+          | Some o -> (
+            let is_f =
+              match o with
+              | Cfg.Cf _ -> true
+              | Cfg.Reg r -> cls.(r) = Cf_
+              | _ -> false
+            in
+            if is_f then begin
+              let r = operand_reg e o ~scratch:f1 in
+              if r <> Isa.abi_flt_ret then emit e (Isa.Fmr (Isa.abi_flt_ret, r))
+            end
+            else begin
+              let r = operand_reg e o ~scratch:s1 in
+              if r <> Isa.abi_int_ret then emit e (Isa.Mr (Isa.abi_int_ret, r))
+            end));
+          List.iteri
+            (fun k (is_f, r) ->
+              emit e
+                (Isa.Lw ((if is_f then Ty.F64 else Ty.I64), Ty.W8, r, 1, save_off k)))
+            saves;
+          if has_frame then emit e (Isa.Opi (Ast.Add, 1, 1, Int64.of_int frame));
+          emit e Isa.Ret
+        | Cfg.Jmp l ->
+          if Some l <> next_label then begin
+            e.fixups <- (e.count, l, None) :: e.fixups;
+            emit e (Isa.B (-1))
+          end
+        | Cfg.Br (c, l1, l2) ->
+          let rc = operand_reg e c ~scratch:s1 in
+          e.fixups <- (e.count, l1, None) :: e.fixups;
+          emit e (Isa.Bc (rc, -1, -1));
+          if Some l2 <> next_label then begin
+            e.fixups <- (e.count, l2, None) :: e.fixups;
+            emit e (Isa.B (-1))
+          end)
+      blocks;
+    let code = Array.of_list (List.rev e.out) in
+    let label_idx l =
+      match List.assoc_opt l e.label_at with
+      | Some i -> i
+      | None -> failwith ("Codegen: unknown label " ^ l)
+    in
+    List.iter
+      (fun (idx, l, fall) ->
+        match code.(idx) with
+        | Isa.B _ -> code.(idx) <- Isa.B (label_idx l)
+        | Isa.Bc (r, _, _) ->
+          ignore fall;
+          code.(idx) <- Isa.Bc (r, label_idx l, idx + 1)
+        | _ -> assert false)
+      e.fixups;
+    { Isa.fname = f.name; code; labels = e.label_at }
+  in
+  let funcs = List.map compile_func cfg.Cfg.funcs in
+  {
+    Isa.globals = cfg.Cfg.globals;
+    funcs;
+    pool = Hashtbl.fold (fun v a acc -> (a, v) :: acc) pool_tbl [];
+    pool_base;
+  }

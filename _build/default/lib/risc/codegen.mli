@@ -1,0 +1,16 @@
+(** TIR-to-RISC code generation (the gcc-for-PowerPC stand-in).
+
+    Graph-coloring register allocation over both register files with
+    per-instruction liveness; values that do not get a color are spilled to
+    stack slots addressed off r1 (so recursion is safe), using the reserved
+    scratch registers around each use.  Calls marshal arguments into the ABI
+    registers with a parallel-move resolver.  The generated code, run under
+    {!Exec}, provides the PowerPC instruction and storage-access baselines
+    of Figs 4–5 and the branch/memory traces for the predictor study and the
+    superscalar reference models. *)
+
+val compile :
+  ?optimize:bool -> ?unroll:int -> ?inline:bool -> Trips_tir.Ast.program -> Isa.program
+(** Defaults: [optimize = true], [unroll = 1], [inline = true] — roughly
+    "gcc -O2" shape.  Pass [unroll = 4] for the icc-like preset used on the
+    reference platforms. *)

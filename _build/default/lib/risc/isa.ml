@@ -1,0 +1,105 @@
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+
+type reg = int
+
+type ins =
+  | Op of Ast.binop * reg * reg * reg
+  | Opi of Ast.binop * reg * reg * int64
+  | Unop of Ast.unop * reg * reg
+  | Li of reg * int64
+  | Lis of reg * int64
+  | Ori of reg * reg * int64
+  | Lfc of reg * float * int
+  | Mr of reg * reg
+  | Fmr of reg * reg
+  | Lw of Ty.t * Ty.width * reg * reg * int
+  | Sw of Ty.t * Ty.width * reg * int * reg
+  | B of int
+  | Bc of reg * int * int
+  | Call of string
+  | Ret
+
+type func = {
+  fname : string;
+  code : ins array;
+  labels : (string * int) list;
+}
+
+type program = {
+  globals : Ast.global list;
+  funcs : func list;
+  pool : (int * float) list;
+  pool_base : int;
+}
+
+type klass = Calu | Cmem | Cbranch | Cmove
+
+let classify = function
+  | Op _ | Opi _ | Unop _ | Li _ | Lis _ | Ori _ -> Calu
+  | Lfc _ | Lw _ | Sw _ -> Cmem
+  | B _ | Bc _ | Call _ | Ret -> Cbranch
+  | Mr _ | Fmr _ -> Cmove
+
+let reg_reads = function
+  | Op _ -> 2
+  | Opi _ | Unop _ | Mr _ | Fmr _ | Ori _ -> 1
+  | Li _ | Lis _ | Lfc _ -> 0
+  | Lw _ -> 1
+  | Sw _ -> 2
+  | B _ -> 0
+  | Bc _ -> 1
+  | Call _ | Ret -> 0
+
+let reg_writes = function
+  | Op _ | Opi _ | Unop _ | Li _ | Lis _ | Ori _ | Lfc _ | Mr _ | Fmr _ | Lw _ -> 1
+  | Sw _ | B _ | Bc _ | Call _ | Ret -> 0
+
+let find_func p name = List.find (fun f -> f.fname = name) p.funcs
+
+let pp_ins ppf = function
+  | Op (op, d, a, b) -> Format.fprintf ppf "r%d = r%d %s r%d" d a (Ast.binop_name op) b
+  | Opi (op, d, a, n) -> Format.fprintf ppf "r%d = r%d %s %Ld" d a (Ast.binop_name op) n
+  | Unop (op, d, a) -> Format.fprintf ppf "r%d = %s r%d" d (Ast.unop_name op) a
+  | Li (d, n) -> Format.fprintf ppf "li r%d, %Ld" d n
+  | Lis (d, n) -> Format.fprintf ppf "lis r%d, %Ld" d n
+  | Ori (d, a, n) -> Format.fprintf ppf "ori r%d, r%d, %Ld" d a n
+  | Lfc (d, v, addr) -> Format.fprintf ppf "lfd f%d, %g pool[0x%x]" d v addr
+  | Mr (d, a) -> Format.fprintf ppf "mr r%d, r%d" d a
+  | Fmr (d, a) -> Format.fprintf ppf "fmr f%d, f%d" d a
+  | Lw (t, w, d, a, off) ->
+    Format.fprintf ppf "l%s%d r%d, %d(r%d)" (Ty.to_string t) (Ty.bytes_of_width w) d off a
+  | Sw (_, w, a, off, s) -> Format.fprintf ppf "st%d %d(r%d), r%d" (Ty.bytes_of_width w) off a s
+  | B t -> Format.fprintf ppf "b @%d" t
+  | Bc (r, t, f) -> Format.fprintf ppf "bc r%d, @%d else @%d" r t f
+  | Call f -> Format.fprintf ppf "bl %s" f
+  | Ret -> Format.pp_print_string ppf "blr"
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>%s:@," f.fname;
+  Array.iteri
+    (fun i ins ->
+      (match List.find_opt (fun (_, idx) -> idx = i) f.labels with
+      | Some (l, _) -> Format.fprintf ppf "%s:@," l
+      | None -> ());
+      Format.fprintf ppf "%3d: %a@," i pp_ins ins)
+    f.code;
+  Format.fprintf ppf "@]"
+
+let abi_int_args = [ 3; 4; 5; 6; 7; 8; 9; 10 ]
+let abi_int_ret = 3
+let abi_flt_args = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let abi_flt_ret = 1
+let scratch_int = (11, 12)
+let scratch_flt = (12, 13)
+
+let allocatable_int =
+  (* leave r0 (zero idiom), r1 (sp), r2 (toc), r11/r12 scratch, and the
+     argument/result registers r3..r10: call marshaling writes them before
+     the call checkpoint, so values living across a call would be lost *)
+  List.init 32 Fun.id
+  |> List.filter (fun r -> r > 2 && r <> 11 && r <> 12 && not (List.mem r abi_int_args))
+
+let allocatable_flt =
+  List.init 32 Fun.id
+  |> List.filter (fun r -> r <> 0 && r <> 12 && r <> 13 && not (List.mem r abi_flt_args))

@@ -1,0 +1,68 @@
+(** A PowerPC-flavoured RISC ISA — the paper's conventional baseline.
+
+    32 integer and 32 floating-point registers, 32-bit fixed-width
+    instructions, compare-into-register plus conditional branch, 16-bit
+    immediates (wider constants take a two-instruction [lis/ori] sequence,
+    floating-point constants load from a constant pool).  The same TIR
+    programs compiled here and through {!Trips_compiler} give the
+    instruction-count and storage-access comparisons of Figs 4 and 5. *)
+
+type reg = int
+(** 0..31; integer and float register files are separate namespaces. *)
+
+type ins =
+  | Op of Trips_tir.Ast.binop * reg * reg * reg   (* rd <- ra op rb *)
+  | Opi of Trips_tir.Ast.binop * reg * reg * int64 (* rd <- ra op imm16 *)
+  | Unop of Trips_tir.Ast.unop * reg * reg
+  | Li of reg * int64                              (* 16-bit load immediate *)
+  | Lis of reg * int64                             (* load shifted upper half *)
+  | Ori of reg * reg * int64                       (* or immediate (low half) *)
+  | Lfc of reg * float * int                       (* float const from pool addr *)
+  | Mr of reg * reg                                (* integer register move *)
+  | Fmr of reg * reg                               (* float register move *)
+  | Lw of Trips_tir.Ty.t * Trips_tir.Ty.width * reg * reg * int  (* rd <- [ra+off] *)
+  | Sw of Trips_tir.Ty.t * Trips_tir.Ty.width * reg * int * reg
+      (* [ra+off] <- rs; the type selects the source register file *)
+  | B of int                                       (* unconditional, code index *)
+  | Bc of reg * int * int                          (* if ra<>0 goto t else goto f *)
+  | Call of string
+  | Ret
+
+type func = {
+  fname : string;
+  code : ins array;
+  (* branch targets are resolved code indices; [labels] is kept for
+     disassembly *)
+  labels : (string * int) list;
+}
+
+type program = {
+  globals : Trips_tir.Ast.global list;
+  funcs : func list;
+  pool : (int * float) list;   (* constant-pool address -> value *)
+  pool_base : int;
+}
+
+type klass = Calu | Cmem | Cbranch | Cmove
+
+val classify : ins -> klass
+
+val reg_reads : ins -> int
+(** Register-file read ports consumed (int + float), for Fig 5. *)
+
+val reg_writes : ins -> int
+
+val find_func : program -> string -> func
+val pp_ins : Format.formatter -> ins -> unit
+val pp_func : Format.formatter -> func -> unit
+
+(* ABI: integer args in r3..r10, integer result in r3; float args in
+   f1..f8, float result in f1; r11/r12 and f12/f13 are scratch. *)
+val abi_int_args : reg list
+val abi_int_ret : reg
+val abi_flt_args : reg list
+val abi_flt_ret : reg
+val scratch_int : reg * reg
+val scratch_flt : reg * reg
+val allocatable_int : reg list
+val allocatable_flt : reg list

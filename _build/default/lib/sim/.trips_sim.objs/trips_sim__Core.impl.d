@@ -1,0 +1,1 @@
+lib/sim/core.ml: Array Hashtbl List Option Trips_compiler Trips_edge Trips_mem Trips_noc Trips_predictor Trips_tir

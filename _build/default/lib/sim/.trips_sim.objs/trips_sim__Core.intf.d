@@ -1,0 +1,1 @@
+lib/sim/core.mli: Trips_edge Trips_mem Trips_noc Trips_predictor Trips_tir

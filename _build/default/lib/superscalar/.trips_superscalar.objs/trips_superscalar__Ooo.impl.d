@@ -1,0 +1,1 @@
+lib/superscalar/ooo.ml: Array List Trips_mem Trips_predictor Trips_risc Trips_tir

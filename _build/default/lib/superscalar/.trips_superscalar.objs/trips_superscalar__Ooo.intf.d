@@ -1,0 +1,1 @@
+lib/superscalar/ooo.mli: Trips_mem Trips_predictor Trips_risc Trips_tir

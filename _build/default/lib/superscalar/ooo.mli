@@ -1,0 +1,60 @@
+(** Parameterized out-of-order superscalar model — the reference platforms.
+
+    A trace-driven dataflow timing model over the RISC retirement stream:
+    fetch is [width]-wide and redirected on mispredictions (tournament +
+    BTB/RAS), issue waits for source operands and load latency comes from
+    the modeled cache hierarchy, the reorder buffer bounds instructions in
+    flight, and commit is in-order and [width]-wide.  The three presets are
+    calibrated to Table 1's platforms (issue width, window, pipeline depth,
+    cache sizes, processor/memory speed ratio); the paper compares cycle
+    counts, which is what {!run} reports. *)
+
+type config = {
+  name : string;
+  width : int;                 (* fetch/issue/commit width *)
+  rob : int;                   (* instructions in flight *)
+  frontend : int;              (* fetch-to-issue stages *)
+  mispredict_penalty : int;
+  predictor : Trips_predictor.Tournament.config;
+  targets : Trips_predictor.Target.config;
+  l1d : Trips_mem.Cache.config;
+  l1i : Trips_mem.Cache.config;
+  l2 : Trips_mem.Cache.config option;
+  dram : Trips_mem.Hier.dram_config;
+}
+
+val core2 : config
+(** 4-wide, 96-entry window, low memory ratio (under-clocked to 1.6 GHz as
+    in the paper's methodology). *)
+
+val pentium4 : config
+(** 3-wide trace-cache machine: deep pipeline, high mispredict cost, high
+    processor/memory ratio. *)
+
+val pentium3 : config
+(** 3-wide, small 40-entry window, small caches. *)
+
+type stats = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable branch_mispredicts : int;
+  mutable icache_misses : int;
+  mutable dcache_misses : int;
+  mutable flops : int;
+}
+
+type result = {
+  ret_int : int64;
+  ret_flt : float;
+  stats : stats;
+}
+
+val run :
+  config ->
+  Trips_risc.Isa.program ->
+  Trips_tir.Image.t ->
+  entry:string ->
+  args:Trips_tir.Ty.value list ->
+  result
+
+val ipc : result -> float

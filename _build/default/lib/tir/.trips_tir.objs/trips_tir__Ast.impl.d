@@ -1,0 +1,1 @@
+lib/tir/ast.ml: Format Int64 List Printf Ty

@@ -1,0 +1,1 @@
+lib/tir/ast.mli: Format Ty

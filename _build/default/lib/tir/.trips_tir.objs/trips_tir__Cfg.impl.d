@@ -1,0 +1,1 @@
+lib/tir/cfg.ml: Ast Format List Ty

@@ -1,0 +1,1 @@
+lib/tir/cfg.mli: Ast Format Ty

@@ -1,0 +1,1 @@
+lib/tir/image.ml: Array Ast Bytes Char Int64 List Printf Semantics Ty

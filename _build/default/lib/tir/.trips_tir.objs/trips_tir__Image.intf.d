@@ -1,0 +1,1 @@
+lib/tir/image.mli: Ast Ty

@@ -1,0 +1,1 @@
+lib/tir/interp.ml: Array Ast Cfg Hashtbl Image Int64 List Semantics Ty

@@ -1,0 +1,1 @@
+lib/tir/interp.mli: Ast Cfg Image Ty

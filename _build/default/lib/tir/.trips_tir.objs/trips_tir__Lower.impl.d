@@ -1,0 +1,1 @@
+lib/tir/lower.ml: Ast Cfg Hashtbl Int64 List Printf Ty

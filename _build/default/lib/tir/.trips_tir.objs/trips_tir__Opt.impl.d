@@ -1,0 +1,1 @@
+lib/tir/opt.ml: Ast Cfg Format Hashtbl List Option Semantics Ty

@@ -1,0 +1,1 @@
+lib/tir/opt.mli: Cfg

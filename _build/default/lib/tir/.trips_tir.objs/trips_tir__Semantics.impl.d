@@ -1,0 +1,1 @@
+lib/tir/semantics.ml: Ast Int64 Ty

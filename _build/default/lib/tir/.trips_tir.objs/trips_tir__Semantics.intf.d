@@ -1,0 +1,1 @@
+lib/tir/semantics.mli: Ast Ty

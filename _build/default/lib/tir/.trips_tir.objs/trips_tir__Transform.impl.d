@@ -1,0 +1,1 @@
+lib/tir/transform.ml: Ast Int64 List Option Printf

@@ -1,0 +1,1 @@
+lib/tir/transform.mli: Ast

@@ -1,0 +1,1 @@
+lib/tir/ty.mli: Format

@@ -1,0 +1,172 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Lsr | Asr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Ult | Ule
+  | Fadd | Fsub | Fmul | Fdiv
+  | Feq | Fne | Flt | Fle | Fgt | Fge
+
+type unop =
+  | Neg | Not
+  | Fneg
+  | Itof | Ftoi
+  | Sext of Ty.width
+  | Zext of Ty.width
+
+type expr =
+  | Int of int64
+  | Flt of float
+  | Var of string
+  | Glo of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Load of Ty.t * Ty.width * expr
+  | Call of string * expr list
+
+type stmt =
+  | Let of string * expr
+  | Store of Ty.width * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * int64 * stmt list
+  | Expr of expr
+  | Return of expr option
+
+type func = {
+  fname : string;
+  params : (string * Ty.t) list;
+  ret : Ty.t option;
+  body : stmt list;
+}
+
+type global = {
+  gname : string;
+  size : int;
+  align : int;
+  init : (Ty.width * int64) array option;
+}
+
+type program = { globals : global list; funcs : func list }
+
+let func fname ?(params = []) ?ret body = { fname; params; ret; body }
+
+let global gname ?(align = 8) ?init size = { gname; size; align; init }
+
+let program ?(globals = []) funcs = { globals; funcs }
+
+let find_func p name = List.find (fun f -> f.fname = name) p.funcs
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Lsr -> ">>u" | Asr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Ult -> "<u" | Ule -> "<=u"
+  | Fadd -> "+." | Fsub -> "-." | Fmul -> "*." | Fdiv -> "/."
+  | Feq -> "==." | Fne -> "!=." | Flt -> "<." | Fle -> "<=." | Fgt -> ">." | Fge -> ">=."
+
+let unop_name = function
+  | Neg -> "neg" | Not -> "not" | Fneg -> "fneg"
+  | Itof -> "itof" | Ftoi -> "ftoi"
+  | Sext w -> Printf.sprintf "sext%d" (Ty.bytes_of_width w)
+  | Zext w -> Printf.sprintf "zext%d" (Ty.bytes_of_width w)
+
+let rec pp_expr ppf = function
+  | Int i -> Format.fprintf ppf "%Ld" i
+  | Flt f -> Format.fprintf ppf "%g" f
+  | Var x -> Format.pp_print_string ppf x
+  | Glo x -> Format.fprintf ppf "&%s" x
+  | Bin (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Un (op, a) -> Format.fprintf ppf "%s(%a)" (unop_name op) pp_expr a
+  | Load (t, w, a) ->
+    Format.fprintf ppf "load.%a.%d[%a]" Ty.pp t (Ty.bytes_of_width w) pp_expr a
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_expr)
+      args
+
+let rec pp_stmt ppf = function
+  | Let (x, e) -> Format.fprintf ppf "%s = %a;" x pp_expr e
+  | Store (w, a, v) ->
+    Format.fprintf ppf "store.%d[%a] = %a;" (Ty.bytes_of_width w) pp_expr a pp_expr v
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,}%a" pp_expr c pp_body t pp_else e
+  | While (c, b) ->
+    Format.fprintf ppf "@[<v 2>while %a {@,%a@]@,}" pp_expr c pp_body b
+  | For (x, lo, hi, step, b) ->
+    Format.fprintf ppf "@[<v 2>for %s = %a .. %a step %Ld {@,%a@]@,}" x pp_expr lo
+      pp_expr hi step pp_body b
+  | Expr e -> Format.fprintf ppf "%a;" pp_expr e
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+
+and pp_body ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+and pp_else ppf = function
+  | [] -> ()
+  | e -> Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_body e
+
+let pp_func ppf f =
+  let pp_param ppf (x, t) = Format.fprintf ppf "%s:%a" x Ty.pp t in
+  Format.fprintf ppf "@[<v 2>func %s(%a)%s {@,%a@]@,}" f.fname
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_param)
+    f.params
+    (match f.ret with None -> "" | Some t -> " : " ^ Ty.to_string t)
+    pp_body f.body
+
+module Infix = struct
+  let i n = Int (Int64.of_int n)
+  let i64 n = Int n
+  let f x = Flt x
+  let v x = Var x
+  let g x = Glo x
+
+  let ( +: ) a b = Bin (Add, a, b)
+  let ( -: ) a b = Bin (Sub, a, b)
+  let ( *: ) a b = Bin (Mul, a, b)
+  let ( /: ) a b = Bin (Div, a, b)
+  let ( %: ) a b = Bin (Rem, a, b)
+  let ( &: ) a b = Bin (And, a, b)
+  let ( |: ) a b = Bin (Or, a, b)
+  let ( ^: ) a b = Bin (Xor, a, b)
+  let ( <<: ) a b = Bin (Shl, a, b)
+  let ( >>: ) a b = Bin (Lsr, a, b)
+  let ( >>>: ) a b = Bin (Asr, a, b)
+  let ( =: ) a b = Bin (Eq, a, b)
+  let ( <>: ) a b = Bin (Ne, a, b)
+  let ( <: ) a b = Bin (Lt, a, b)
+  let ( <=: ) a b = Bin (Le, a, b)
+  let ( >: ) a b = Bin (Gt, a, b)
+  let ( >=: ) a b = Bin (Ge, a, b)
+
+  let ( +.: ) a b = Bin (Fadd, a, b)
+  let ( -.: ) a b = Bin (Fsub, a, b)
+  let ( *.: ) a b = Bin (Fmul, a, b)
+  let ( /.: ) a b = Bin (Fdiv, a, b)
+  let ( <.: ) a b = Bin (Flt, a, b)
+  let ( <=.: ) a b = Bin (Fle, a, b)
+  let ( >.: ) a b = Bin (Fgt, a, b)
+  let ( =.: ) a b = Bin (Feq, a, b)
+
+  let ld8 a = Load (Ty.I64, Ty.W8, a)
+  let ld4 a = Load (Ty.I64, Ty.W4, a)
+  let ld2 a = Load (Ty.I64, Ty.W2, a)
+  let ld1 a = Load (Ty.I64, Ty.W1, a)
+  let ldf a = Load (Ty.F64, Ty.W8, a)
+  let st8 a x = Store (Ty.W8, a, x)
+  let st4 a x = Store (Ty.W4, a, x)
+  let st2 a x = Store (Ty.W2, a, x)
+  let st1 a x = Store (Ty.W1, a, x)
+  let stf a x = Store (Ty.W8, a, x)
+
+  let set x e = Let (x, e)
+  let if_ c t e = If (c, t, e)
+  let while_ c b = While (c, b)
+  let for_ x lo hi b = For (x, lo, hi, 1L, b)
+  let for_step x lo hi s b = For (x, lo, hi, s, b)
+  let ret e = Return (Some e)
+  let ret0 = Return None
+  let call fname args = Call (fname, args)
+  let callv fname args = Expr (Call (fname, args))
+end

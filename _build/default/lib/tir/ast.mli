@@ -1,0 +1,131 @@
+(** Abstract syntax of TIR programs, with an authoring EDSL.
+
+    Benchmarks in {!Trips_workloads} are written against this module.  The
+    AST is structured (no gotos); {!Lower} turns it into the control-flow
+    graph that the optimizers and backends consume. *)
+
+type binop =
+  (* 64-bit integer *)
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Lsr | Asr
+  | Eq | Ne | Lt | Le | Gt | Ge          (* signed compares, produce 0/1 *)
+  | Ult | Ule                             (* unsigned compares *)
+  (* double-precision float *)
+  | Fadd | Fsub | Fmul | Fdiv
+  | Feq | Fne | Flt | Fle | Fgt | Fge     (* produce integer 0/1 *)
+
+type unop =
+  | Neg | Not                 (* integer negate / bitwise not *)
+  | Fneg
+  | Itof | Ftoi               (* conversions *)
+  | Sext of Ty.width          (* sign-extend the low bytes *)
+  | Zext of Ty.width          (* zero-extend the low bytes *)
+
+type expr =
+  | Int of int64
+  | Flt of float
+  | Var of string                         (* local or parameter *)
+  | Glo of string                         (* address of a global symbol *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Load of Ty.t * Ty.width * expr        (* typed load from address *)
+  | Call of string * expr list            (* call returning a value *)
+
+type stmt =
+  | Let of string * expr                  (* assign a local *)
+  | Store of Ty.width * expr * expr       (* [Store (w, addr, value)] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * int64 * stmt list
+      (* [For (i, lo, hi, step, body)]: i from lo while (step>0 ? i<hi : i>hi),
+         i += step each iteration.  [step] must be a nonzero constant. *)
+  | Expr of expr                          (* evaluate for effect (calls) *)
+  | Return of expr option
+
+type func = {
+  fname : string;
+  params : (string * Ty.t) list;
+  ret : Ty.t option;
+  body : stmt list;
+}
+
+type global = {
+  gname : string;
+  size : int;                             (* bytes *)
+  align : int;
+  init : (Ty.width * int64) array option; (* optional packed initializer *)
+}
+
+type program = { globals : global list; funcs : func list }
+
+val func : string -> ?params:(string * Ty.t) list -> ?ret:Ty.t -> stmt list -> func
+val global : string -> ?align:int -> ?init:(Ty.width * int64) array -> int -> global
+val program : ?globals:global list -> func list -> program
+
+val find_func : program -> string -> func
+(** @raise Not_found if absent. *)
+
+val binop_name : binop -> string
+val unop_name : unop -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_func : Format.formatter -> func -> unit
+
+(** Infix/constructor helpers used throughout the workload suite. *)
+module Infix : sig
+  val i : int -> expr                     (* integer literal *)
+  val i64 : int64 -> expr
+  val f : float -> expr
+  val v : string -> expr                  (* variable reference *)
+  val g : string -> expr                  (* global address *)
+
+  val ( +: ) : expr -> expr -> expr
+  val ( -: ) : expr -> expr -> expr
+  val ( *: ) : expr -> expr -> expr
+  val ( /: ) : expr -> expr -> expr
+  val ( %: ) : expr -> expr -> expr
+  val ( &: ) : expr -> expr -> expr
+  val ( |: ) : expr -> expr -> expr
+  val ( ^: ) : expr -> expr -> expr
+  val ( <<: ) : expr -> expr -> expr
+  val ( >>: ) : expr -> expr -> expr      (* logical shift right *)
+  val ( >>>: ) : expr -> expr -> expr     (* arithmetic shift right *)
+  val ( =: ) : expr -> expr -> expr
+  val ( <>: ) : expr -> expr -> expr
+  val ( <: ) : expr -> expr -> expr
+  val ( <=: ) : expr -> expr -> expr
+  val ( >: ) : expr -> expr -> expr
+  val ( >=: ) : expr -> expr -> expr
+
+  val ( +.: ) : expr -> expr -> expr
+  val ( -.: ) : expr -> expr -> expr
+  val ( *.: ) : expr -> expr -> expr
+  val ( /.: ) : expr -> expr -> expr
+  val ( <.: ) : expr -> expr -> expr
+  val ( <=.: ) : expr -> expr -> expr
+  val ( >.: ) : expr -> expr -> expr
+  val ( =.: ) : expr -> expr -> expr
+
+  val ld8 : expr -> expr                  (* i64 load, 8 bytes *)
+  val ld4 : expr -> expr                  (* i64 load, zero-extended word *)
+  val ld2 : expr -> expr
+  val ld1 : expr -> expr
+  val ldf : expr -> expr                  (* f64 load *)
+  val st8 : expr -> expr -> stmt
+  val st4 : expr -> expr -> stmt
+  val st2 : expr -> expr -> stmt
+  val st1 : expr -> expr -> stmt
+  val stf : expr -> expr -> stmt          (* f64 store (width 8) *)
+
+  val set : string -> expr -> stmt
+  val if_ : expr -> stmt list -> stmt list -> stmt
+  val while_ : expr -> stmt list -> stmt
+  val for_ : string -> expr -> expr -> stmt list -> stmt
+      (* step 1 loop *)
+  val for_step : string -> expr -> expr -> int64 -> stmt list -> stmt
+  val ret : expr -> stmt
+  val ret0 : stmt
+  val call : string -> expr list -> expr
+  val callv : string -> expr list -> stmt (* call ignoring the result *)
+end

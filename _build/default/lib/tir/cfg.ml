@@ -1,0 +1,133 @@
+type vreg = int
+
+type operand =
+  | Reg of vreg
+  | Ci of int64
+  | Cf of float
+  | Sym of string
+
+type ins =
+  | Bin of Ast.binop * vreg * operand * operand
+  | Un of Ast.unop * vreg * operand
+  | Mov of vreg * operand
+  | Load of Ty.t * Ty.width * vreg * operand * int
+  | Store of Ty.width * operand * int * operand
+  | Call of vreg option * string * operand list
+
+type term =
+  | Jmp of string
+  | Br of operand * string * string
+  | Ret of operand option
+
+type block = {
+  label : string;
+  mutable ins : ins list;
+  mutable term : term;
+}
+
+type func = {
+  name : string;
+  mutable params : (vreg * Ty.t) list;
+  ret : Ty.t option;
+  mutable blocks : block list;
+  mutable next_vreg : int;
+}
+
+type program = { globals : Ast.global list; funcs : func list }
+
+let fresh f =
+  let r = f.next_vreg in
+  f.next_vreg <- r + 1;
+  r
+
+let entry f =
+  match f.blocks with
+  | [] -> invalid_arg "Cfg.entry: empty function"
+  | b :: _ -> b
+
+let find_block f label = List.find (fun b -> b.label = label) f.blocks
+
+let successors = function
+  | Jmp l -> [ l ]
+  | Br (_, l1, l2) -> [ l1; l2 ]
+  | Ret _ -> []
+
+let defs = function
+  | Bin (_, d, _, _) | Un (_, d, _) | Mov (d, _) | Load (_, _, d, _, _) -> [ d ]
+  | Store _ -> []
+  | Call (Some d, _, _) -> [ d ]
+  | Call (None, _, _) -> []
+
+let uses = function
+  | Bin (_, _, a, b) -> [ a; b ]
+  | Un (_, _, a) | Mov (_, a) | Load (_, _, _, a, _) -> [ a ]
+  | Store (_, a, _, v) -> [ a; v ]
+  | Call (_, _, args) -> args
+
+let term_uses = function
+  | Jmp _ -> []
+  | Br (c, _, _) -> [ c ]
+  | Ret (Some v) -> [ v ]
+  | Ret None -> []
+
+let map_ins_operands f = function
+  | Bin (op, d, a, b) -> Bin (op, d, f a, f b)
+  | Un (op, d, a) -> Un (op, d, f a)
+  | Mov (d, a) -> Mov (d, f a)
+  | Load (t, w, d, a, off) -> Load (t, w, d, f a, off)
+  | Store (w, a, off, v) -> Store (w, f a, off, f v)
+  | Call (d, name, args) -> Call (d, name, List.map f args)
+
+let map_term_operands f = function
+  | Jmp l -> Jmp l
+  | Br (c, l1, l2) -> Br (f c, l1, l2)
+  | Ret (Some v) -> Ret (Some (f v))
+  | Ret None -> Ret None
+
+let find_func p name = List.find (fun f -> f.name = name) p.funcs
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "v%d" r
+  | Ci i -> Format.fprintf ppf "%Ld" i
+  | Cf x -> Format.fprintf ppf "%g" x
+  | Sym s -> Format.fprintf ppf "&%s" s
+
+let pp_ins ppf = function
+  | Bin (op, d, a, b) ->
+    Format.fprintf ppf "v%d = %a %s %a" d pp_operand a (Ast.binop_name op) pp_operand b
+  | Un (op, d, a) -> Format.fprintf ppf "v%d = %s %a" d (Ast.unop_name op) pp_operand a
+  | Mov (d, a) -> Format.fprintf ppf "v%d = %a" d pp_operand a
+  | Load (t, w, d, a, off) ->
+    Format.fprintf ppf "v%d = load.%a.%d [%a + %d]" d Ty.pp t (Ty.bytes_of_width w)
+      pp_operand a off
+  | Store (w, a, off, v) ->
+    Format.fprintf ppf "store.%d [%a + %d] = %a" (Ty.bytes_of_width w) pp_operand a off
+      pp_operand v
+  | Call (d, name, args) ->
+    let pp_args = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_operand in
+    (match d with
+    | Some d -> Format.fprintf ppf "v%d = call %s(%a)" d name pp_args args
+    | None -> Format.fprintf ppf "call %s(%a)" name pp_args args)
+
+let pp_term ppf = function
+  | Jmp l -> Format.fprintf ppf "jmp %s" l
+  | Br (c, l1, l2) -> Format.fprintf ppf "br %a ? %s : %s" pp_operand c l1 l2
+  | Ret None -> Format.pp_print_string ppf "ret"
+  | Ret (Some v) -> Format.fprintf ppf "ret %a" pp_operand v
+
+let pp_block ppf b =
+  Format.fprintf ppf "@[<v 2>%s:@,%a%s%a@]" b.label
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_ins)
+    b.ins
+    (if b.ins = [] then "" else "\n")
+    pp_term b.term
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>func %s:@,%a@]" f.name
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_block)
+    f.blocks
+
+let pp_program ppf p =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_func ppf p.funcs
+
+let ins_count f = List.fold_left (fun acc b -> acc + List.length b.ins) 0 f.blocks

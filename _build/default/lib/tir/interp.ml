@@ -1,0 +1,193 @@
+type counts = {
+  ops : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  calls : int;
+}
+
+type outcome = {
+  result : Ty.value option;
+  counts : counts;
+}
+
+exception Out_of_fuel
+
+type state = {
+  image : Image.t;
+  mutable fuel : int;
+  mutable c_ops : int;
+  mutable c_loads : int;
+  mutable c_stores : int;
+  mutable c_branches : int;
+  mutable c_calls : int;
+}
+
+let burn st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let finish st result =
+  {
+    result;
+    counts =
+      {
+        ops = st.c_ops;
+        loads = st.c_loads;
+        stores = st.c_stores;
+        branches = st.c_branches;
+        calls = st.c_calls;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AST interpreter                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Returned of Ty.value option
+
+let run_ast ?(fuel = 200_000_000) (p : Ast.program) image entry args =
+  let st = { image; fuel; c_ops = 0; c_loads = 0; c_stores = 0; c_branches = 0; c_calls = 0 } in
+  let rec call_fn name args =
+    st.c_calls <- st.c_calls + 1;
+    let f = try Ast.find_func p name with Not_found -> raise (Semantics.Trap ("unknown function " ^ name)) in
+    let env : (string, Ty.value) Hashtbl.t = Hashtbl.create 16 in
+    (try
+       List.iter2 (fun (x, _) v -> Hashtbl.replace env x v) f.params args
+     with Invalid_argument _ -> raise (Semantics.Trap ("arity mismatch calling " ^ name)));
+    try
+      List.iter (exec env) f.body;
+      None
+    with Returned v -> v
+  and eval env (e : Ast.expr) : Ty.value =
+    burn st;
+    match e with
+    | Ast.Int i -> Ty.Vi i
+    | Ast.Flt f -> Ty.Vf f
+    | Ast.Var x -> (
+      match Hashtbl.find_opt env x with
+      | Some v -> v
+      | None -> raise (Semantics.Trap ("unbound variable " ^ x)))
+    | Ast.Glo s -> Ty.Vi (Int64.of_int (Image.addr_of st.image s))
+    | Ast.Bin (op, a, b) ->
+      let va = eval env a in
+      let vb = eval env b in
+      st.c_ops <- st.c_ops + 1;
+      Semantics.binop op va vb
+    | Ast.Un (op, a) ->
+      let va = eval env a in
+      st.c_ops <- st.c_ops + 1;
+      Semantics.unop op va
+    | Ast.Load (t, w, addr) ->
+      let a = Int64.to_int (Ty.as_int (eval env addr)) in
+      st.c_loads <- st.c_loads + 1;
+      Image.load st.image t w a
+    | Ast.Call (fname, es) ->
+      let vs = List.map (eval env) es in
+      (match call_fn fname vs with
+      | Some v -> v
+      | None -> raise (Semantics.Trap (fname ^ " returned no value")))
+  and exec env (s : Ast.stmt) : unit =
+    burn st;
+    match s with
+    | Ast.Let (x, e) -> Hashtbl.replace env x (eval env e)
+    | Ast.Store (w, addr, value) ->
+      let a = Int64.to_int (Ty.as_int (eval env addr)) in
+      let value = eval env value in
+      st.c_stores <- st.c_stores + 1;
+      Image.store st.image w a value
+    | Ast.If (c, then_s, else_s) ->
+      st.c_branches <- st.c_branches + 1;
+      if Ty.truthy (eval env c) then List.iter (exec env) then_s
+      else List.iter (exec env) else_s
+    | Ast.While (c, body) ->
+      let rec loop () =
+        st.c_branches <- st.c_branches + 1;
+        if Ty.truthy (eval env c) then begin
+          List.iter (exec env) body;
+          loop ()
+        end
+      in
+      loop ()
+    | Ast.For (x, lo, hi, step, body) ->
+      Hashtbl.replace env x (eval env lo);
+      let continue_ () =
+        let i = Ty.as_int (Hashtbl.find env x) in
+        let h = Ty.as_int (eval env hi) in
+        st.c_branches <- st.c_branches + 1;
+        if step > 0L then i < h else i > h
+      in
+      while continue_ () do
+        List.iter (exec env) body;
+        let i = Ty.as_int (Hashtbl.find env x) in
+        Hashtbl.replace env x (Ty.Vi (Int64.add i step))
+      done
+    | Ast.Expr e -> ignore (eval env e)
+    | Ast.Return None -> raise (Returned None)
+    | Ast.Return (Some e) -> raise (Returned (Some (eval env e)))
+  in
+  let result = call_fn entry args in
+  finish st result
+
+(* ------------------------------------------------------------------ *)
+(* CFG interpreter                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_cfg ?(fuel = 200_000_000) (p : Cfg.program) image entry args =
+  let st = { image; fuel; c_ops = 0; c_loads = 0; c_stores = 0; c_branches = 0; c_calls = 0 } in
+  let rec call_fn name args =
+    st.c_calls <- st.c_calls + 1;
+    let f = try Cfg.find_func p name with Not_found -> raise (Semantics.Trap ("unknown function " ^ name)) in
+    let regs = Array.make (max 1 f.next_vreg) (Ty.Vi 0L) in
+    (try List.iter2 (fun (r, _) v -> regs.(r) <- v) f.params args
+     with Invalid_argument _ -> raise (Semantics.Trap ("arity mismatch calling " ^ name)));
+    let blocks = Hashtbl.create 16 in
+    List.iter (fun (b : Cfg.block) -> Hashtbl.replace blocks b.label b) f.blocks;
+    let operand = function
+      | Cfg.Reg r -> regs.(r)
+      | Cfg.Ci i -> Ty.Vi i
+      | Cfg.Cf x -> Ty.Vf x
+      | Cfg.Sym s -> Ty.Vi (Int64.of_int (Image.addr_of st.image s))
+    in
+    let exec_ins (ins : Cfg.ins) =
+      burn st;
+      match ins with
+      | Cfg.Bin (op, d, a, b) ->
+        st.c_ops <- st.c_ops + 1;
+        regs.(d) <- Semantics.binop op (operand a) (operand b)
+      | Cfg.Un (op, d, a) ->
+        st.c_ops <- st.c_ops + 1;
+        regs.(d) <- Semantics.unop op (operand a)
+      | Cfg.Mov (d, a) -> regs.(d) <- operand a
+      | Cfg.Load (t, w, d, a, off) ->
+        st.c_loads <- st.c_loads + 1;
+        let addr = Int64.to_int (Ty.as_int (operand a)) + off in
+        regs.(d) <- Image.load st.image t w addr
+      | Cfg.Store (w, a, off, v) ->
+        st.c_stores <- st.c_stores + 1;
+        let addr = Int64.to_int (Ty.as_int (operand a)) + off in
+        Image.store st.image w addr (operand v)
+      | Cfg.Call (d, fname, cargs) ->
+        let vs = List.map operand cargs in
+        let r = call_fn fname vs in
+        (match (d, r) with
+        | Some d, Some v -> regs.(d) <- v
+        | Some _, None -> raise (Semantics.Trap (fname ^ " returned no value"))
+        | None, _ -> ())
+    in
+    let rec run_block (b : Cfg.block) =
+      List.iter exec_ins b.ins;
+      burn st;
+      match b.term with
+      | Cfg.Jmp l -> run_block (Hashtbl.find blocks l)
+      | Cfg.Br (c, l1, l2) ->
+        st.c_branches <- st.c_branches + 1;
+        let l = if Ty.truthy (operand c) then l1 else l2 in
+        run_block (Hashtbl.find blocks l)
+      | Cfg.Ret None -> None
+      | Cfg.Ret (Some v) -> Some (operand v)
+    in
+    run_block (Cfg.entry f)
+  in
+  let result = call_fn entry args in
+  finish st result

@@ -1,0 +1,30 @@
+(** Reference interpreters for TIR.
+
+    Two independent evaluators — one over the structured AST, one over the
+    CFG — provide the golden results that the EDGE and RISC pipelines must
+    reproduce.  Both run against an {!Image} and are fuel-limited so a broken
+    benchmark cannot hang the harness. *)
+
+type counts = {
+  ops : int;          (* arithmetic/logic/compare operations evaluated *)
+  loads : int;
+  stores : int;
+  branches : int;     (* conditional decisions taken *)
+  calls : int;
+}
+
+type outcome = {
+  result : Ty.value option;
+  counts : counts;
+}
+
+exception Out_of_fuel
+
+val run_ast :
+  ?fuel:int -> Ast.program -> Image.t -> string -> Ty.value list -> outcome
+(** [run_ast program image entry args] evaluates [entry] with [args], mutating
+    [image].  Default fuel is 200 million evaluation steps. *)
+
+val run_cfg :
+  ?fuel:int -> Cfg.program -> Image.t -> string -> Ty.value list -> outcome
+(** Same contract over the lowered form. *)

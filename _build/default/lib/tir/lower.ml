@@ -1,0 +1,184 @@
+type env = {
+  fn : Cfg.func;
+  vars : (string, Cfg.vreg) Hashtbl.t;
+  mutable cur : Cfg.block;          (* block under construction *)
+  mutable done_blocks : Cfg.block list; (* finished, reversed *)
+  mutable label_id : int;
+}
+
+let new_label env prefix =
+  let id = env.label_id in
+  env.label_id <- id + 1;
+  Printf.sprintf "%s.%s%d" env.fn.name prefix id
+
+let emit env ins = env.cur.ins <- ins :: env.cur.ins
+
+let var env x =
+  match Hashtbl.find_opt env.vars x with
+  | Some r -> r
+  | None ->
+    let r = Cfg.fresh env.fn in
+    Hashtbl.add env.vars x r;
+    r
+
+(* Close the current block with [term] and open a fresh one labelled [label]. *)
+let seal env term label =
+  env.cur.term <- term;
+  env.cur.ins <- List.rev env.cur.ins;
+  env.done_blocks <- env.cur :: env.done_blocks;
+  env.cur <- { Cfg.label; ins = []; term = Cfg.Ret None }
+
+let rec lower_expr env (e : Ast.expr) : Cfg.operand =
+  match e with
+  | Ast.Int i -> Cfg.Ci i
+  | Ast.Flt f -> Cfg.Cf f
+  | Ast.Var x -> Cfg.Reg (var env x)
+  | Ast.Glo s -> Cfg.Sym s
+  | Ast.Bin (op, a, b) ->
+    let oa = lower_expr env a in
+    let ob = lower_expr env b in
+    let d = Cfg.fresh env.fn in
+    emit env (Cfg.Bin (op, d, oa, ob));
+    Cfg.Reg d
+  | Ast.Un (op, a) ->
+    let oa = lower_expr env a in
+    let d = Cfg.fresh env.fn in
+    emit env (Cfg.Un (op, d, oa));
+    Cfg.Reg d
+  | Ast.Load (t, w, addr) ->
+    let base, off = lower_addr env addr in
+    let d = Cfg.fresh env.fn in
+    emit env (Cfg.Load (t, w, d, base, off));
+    Cfg.Reg d
+  | Ast.Call (f, args) ->
+    let oargs = List.map (lower_expr env) args in
+    let d = Cfg.fresh env.fn in
+    emit env (Cfg.Call (Some d, f, oargs));
+    Cfg.Reg d
+
+(* Fold [e + constant] into a displacement. *)
+and lower_addr env (e : Ast.expr) : Cfg.operand * int =
+  match e with
+  | Ast.Bin (Ast.Add, a, Ast.Int k) when Int64.abs k < 32768L ->
+    (lower_expr env a, Int64.to_int k)
+  | Ast.Bin (Ast.Add, Ast.Int k, a) when Int64.abs k < 32768L ->
+    (lower_expr env a, Int64.to_int k)
+  | Ast.Bin (Ast.Sub, a, Ast.Int k) when Int64.abs k < 32768L ->
+    (lower_expr env a, -Int64.to_int k)
+  | _ -> (lower_expr env e, 0)
+
+let rec lower_stmt env (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Let (x, e) ->
+    let o = lower_expr env e in
+    let r = var env x in
+    emit env (Cfg.Mov (r, o))
+  | Ast.Store (w, addr, value) ->
+    let base, off = lower_addr env addr in
+    let ov = lower_expr env value in
+    emit env (Cfg.Store (w, base, off, ov))
+  | Ast.Expr e -> (
+    match e with
+    | Ast.Call (f, args) ->
+      let oargs = List.map (lower_expr env) args in
+      emit env (Cfg.Call (None, f, oargs))
+    | _ -> ignore (lower_expr env e))
+  | Ast.Return None -> seal env (Cfg.Ret None) (new_label env "dead")
+  | Ast.Return (Some e) ->
+    let o = lower_expr env e in
+    seal env (Cfg.Ret (Some o)) (new_label env "dead")
+  | Ast.If (c, then_s, else_s) ->
+    let oc = lower_expr env c in
+    let lt = new_label env "then" in
+    let le = new_label env "else" in
+    let lj = new_label env "join" in
+    (match else_s with
+    | [] ->
+      seal env (Cfg.Br (oc, lt, lj)) lt;
+      List.iter (lower_stmt env) then_s;
+      seal env (Cfg.Jmp lj) lj
+    | _ ->
+      seal env (Cfg.Br (oc, lt, le)) lt;
+      List.iter (lower_stmt env) then_s;
+      seal env (Cfg.Jmp lj) le;
+      List.iter (lower_stmt env) else_s;
+      seal env (Cfg.Jmp lj) lj)
+  | Ast.While (c, body) ->
+    let lh = new_label env "head" in
+    let lb = new_label env "body" in
+    let lx = new_label env "exit" in
+    seal env (Cfg.Jmp lh) lh;
+    let oc = lower_expr env c in
+    seal env (Cfg.Br (oc, lb, lx)) lb;
+    List.iter (lower_stmt env) body;
+    seal env (Cfg.Jmp lh) lx
+  | Ast.For (x, lo, hi, step, body) ->
+    assert (step <> 0L);
+    let r = var env x in
+    let olo = lower_expr env lo in
+    emit env (Cfg.Mov (r, olo));
+    let lh = new_label env "head" in
+    let lb = new_label env "body" in
+    let lx = new_label env "exit" in
+    seal env (Cfg.Jmp lh) lh;
+    let ohi = lower_expr env hi in
+    let cond = Cfg.fresh env.fn in
+    let cmp = if step > 0L then Ast.Lt else Ast.Gt in
+    emit env (Cfg.Bin (cmp, cond, Cfg.Reg r, ohi));
+    seal env (Cfg.Br (Cfg.Reg cond, lb, lx)) lb;
+    List.iter (lower_stmt env) body;
+    emit env (Cfg.Bin (Ast.Add, r, Cfg.Reg r, Cfg.Ci step));
+    seal env (Cfg.Jmp lh) lx
+
+(* Drop blocks not reachable from the entry (e.g. the placeholder opened
+   after a [return]). *)
+let prune_unreachable (fn : Cfg.func) =
+  match fn.blocks with
+  | [] -> ()
+  | entry :: _ ->
+    let reached = Hashtbl.create 16 in
+    let rec visit label =
+      if not (Hashtbl.mem reached label) then begin
+        Hashtbl.add reached label ();
+        match List.find_opt (fun (b : Cfg.block) -> b.label = label) fn.blocks with
+        | Some b -> List.iter visit (Cfg.successors b.term)
+        | None -> invalid_arg ("Lower: missing block " ^ label)
+      end
+    in
+    visit entry.label;
+    fn.blocks <- List.filter (fun (b : Cfg.block) -> Hashtbl.mem reached b.label) fn.blocks
+
+let func (f : Ast.func) : Cfg.func =
+  let fn =
+    { Cfg.name = f.fname; params = []; ret = f.ret; blocks = []; next_vreg = 0 }
+  in
+  let vars = Hashtbl.create 16 in
+  let params =
+    List.map
+      (fun (x, t) ->
+        let r = fn.next_vreg in
+        fn.next_vreg <- r + 1;
+        Hashtbl.add vars x r;
+        (r, t))
+      f.params
+  in
+  let entry_label = f.fname ^ ".entry" in
+  let env =
+    {
+      fn;
+      vars;
+      cur = { Cfg.label = entry_label; ins = []; term = Cfg.Ret None };
+      done_blocks = [];
+      label_id = 0;
+    }
+  in
+  List.iter (lower_stmt env) f.body;
+  (* close trailing block with an implicit return *)
+  seal env (Cfg.Ret (match f.ret with None -> None | Some t -> Some (match t with Ty.I64 -> Cfg.Ci 0L | Ty.F64 -> Cfg.Cf 0.))) "unreachable";
+  fn.params <- params;
+  fn.blocks <- List.rev env.done_blocks;
+  prune_unreachable fn;
+  fn
+
+let program (p : Ast.program) : Cfg.program =
+  { Cfg.globals = p.globals; funcs = List.map func p.funcs }

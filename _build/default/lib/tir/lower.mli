@@ -1,0 +1,9 @@
+(** Lowering structured TIR to control-flow-graph form.
+
+    Loops become explicit header/body/latch blocks; short-circuit behaviour is
+    not needed because TIR comparisons are strict.  Address expressions of the
+    form [base + constant] are folded into load/store offsets, matching the
+    displacement addressing of both target ISAs. *)
+
+val func : Ast.func -> Cfg.func
+val program : Ast.program -> Cfg.program

@@ -1,0 +1,225 @@
+let pp_compact ppf (f : Cfg.func) = Cfg.pp_func ppf f
+
+let is_const = function Cfg.Ci _ | Cfg.Cf _ -> true | Cfg.Reg _ | Cfg.Sym _ -> false
+
+let const_value = function
+  | Cfg.Ci i -> Ty.Vi i
+  | Cfg.Cf f -> Ty.Vf f
+  | Cfg.Reg _ | Cfg.Sym _ -> invalid_arg "const_value"
+
+let operand_of_value = function
+  | Ty.Vi i -> Cfg.Ci i
+  | Ty.Vf f -> Cfg.Cf f
+
+(* Division by a constant zero must keep trapping at runtime, so skip it. *)
+let foldable_binop (op : Ast.binop) b =
+  match op with
+  | Ast.Div | Ast.Rem -> ( match b with Cfg.Ci 0L -> false | _ -> true)
+  | _ -> true
+
+let constfold (f : Cfg.func) =
+  let fold_ins ins =
+    match ins with
+    | Cfg.Bin (op, d, a, b) when is_const a && is_const b && foldable_binop op b -> (
+      match Semantics.binop op (const_value a) (const_value b) with
+      | v -> Cfg.Mov (d, operand_of_value v)
+      | exception Semantics.Trap _ -> ins)
+    | Cfg.Un (op, d, a) when is_const a -> (
+      match Semantics.unop op (const_value a) with
+      | v -> Cfg.Mov (d, operand_of_value v)
+      | exception Semantics.Trap _ -> ins)
+    (* algebraic identities *)
+    | Cfg.Bin (Ast.Add, d, a, Cfg.Ci 0L) | Cfg.Bin (Ast.Add, d, Cfg.Ci 0L, a)
+    | Cfg.Bin (Ast.Sub, d, a, Cfg.Ci 0L)
+    | Cfg.Bin (Ast.Or, d, a, Cfg.Ci 0L) | Cfg.Bin (Ast.Or, d, Cfg.Ci 0L, a)
+    | Cfg.Bin (Ast.Xor, d, a, Cfg.Ci 0L) | Cfg.Bin (Ast.Xor, d, Cfg.Ci 0L, a)
+    | Cfg.Bin (Ast.Shl, d, a, Cfg.Ci 0L) | Cfg.Bin (Ast.Lsr, d, a, Cfg.Ci 0L)
+    | Cfg.Bin (Ast.Asr, d, a, Cfg.Ci 0L) ->
+      Cfg.Mov (d, a)
+    | Cfg.Bin (Ast.Mul, d, a, Cfg.Ci 1L) | Cfg.Bin (Ast.Mul, d, Cfg.Ci 1L, a)
+    | Cfg.Bin (Ast.Div, d, a, Cfg.Ci 1L) ->
+      Cfg.Mov (d, a)
+    | Cfg.Bin (Ast.Mul, d, _, Cfg.Ci 0L) | Cfg.Bin (Ast.Mul, d, Cfg.Ci 0L, _)
+    | Cfg.Bin (Ast.And, d, _, Cfg.Ci 0L) | Cfg.Bin (Ast.And, d, Cfg.Ci 0L, _) ->
+      Cfg.Mov (d, Cfg.Ci 0L)
+    | _ -> ins
+  in
+  List.iter (fun (b : Cfg.block) -> b.ins <- List.map fold_ins b.ins) f.blocks
+
+(* Block-local propagation: map vreg -> known operand.  An entry is killed
+   when any register it mentions is redefined. *)
+let copyprop (f : Cfg.func) =
+  let run_block (b : Cfg.block) =
+    let known : (Cfg.vreg, Cfg.operand) Hashtbl.t = Hashtbl.create 16 in
+    let resolve op =
+      match op with
+      | Cfg.Reg r -> ( match Hashtbl.find_opt known r with Some o -> o | None -> op)
+      | _ -> op
+    in
+    let kill d =
+      Hashtbl.remove known d;
+      let stale =
+        Hashtbl.fold
+          (fun k v acc -> match v with Cfg.Reg r when r = d -> k :: acc | _ -> acc)
+          known []
+      in
+      List.iter (Hashtbl.remove known) stale
+    in
+    let step ins =
+      let ins = Cfg.map_ins_operands resolve ins in
+      List.iter kill (Cfg.defs ins);
+      (match ins with Cfg.Mov (d, src) when src <> Cfg.Reg d -> Hashtbl.replace known d src | _ -> ());
+      ins
+    in
+    b.ins <- List.map step b.ins;
+    b.term <- Cfg.map_term_operands resolve b.term
+  in
+  List.iter run_block f.blocks
+
+(* Block-local CSE over pure ops and loads. *)
+type expr_key =
+  | Kbin of Ast.binop * Cfg.operand * Cfg.operand
+  | Kun of Ast.unop * Cfg.operand
+  | Kload of Ty.t * Ty.width * Cfg.operand * int
+
+let cse (f : Cfg.func) =
+  let run_block (b : Cfg.block) =
+    let avail : (expr_key, Cfg.vreg) Hashtbl.t = Hashtbl.create 16 in
+    let kill_reg d =
+      let stale =
+        Hashtbl.fold
+          (fun k v acc ->
+            let mentions =
+              v = d
+              ||
+              match k with
+              | Kbin (_, a, bb) -> a = Cfg.Reg d || bb = Cfg.Reg d
+              | Kun (_, a) -> a = Cfg.Reg d
+              | Kload (_, _, a, _) -> a = Cfg.Reg d
+            in
+            if mentions then k :: acc else acc)
+          avail []
+      in
+      List.iter (Hashtbl.remove avail) stale
+    in
+    let kill_memory () =
+      let stale =
+        Hashtbl.fold
+          (fun k _ acc -> match k with Kload _ -> k :: acc | _ -> acc)
+          avail []
+      in
+      List.iter (Hashtbl.remove avail) stale
+    in
+    (* An expression keyed on its own destination (v3 = v3 + 1) must not be
+       recorded: after the write, the key no longer denotes the result. *)
+    let key_mentions key d =
+      match key with
+      | Kbin (_, a, b) -> a = Cfg.Reg d || b = Cfg.Reg d
+      | Kun (_, a) | Kload (_, _, a, _) -> a = Cfg.Reg d
+    in
+    let lookup_or_record key d ins =
+      match Hashtbl.find_opt avail key with
+      | Some r ->
+        kill_reg d;
+        Cfg.Mov (d, Cfg.Reg r)
+      | None ->
+        kill_reg d;
+        if not (key_mentions key d) then Hashtbl.replace avail key d;
+        ins
+    in
+    let step ins =
+      match ins with
+      | Cfg.Bin (op, d, a, bb) -> lookup_or_record (Kbin (op, a, bb)) d ins
+      | Cfg.Un (op, d, a) -> lookup_or_record (Kun (op, a)) d ins
+      | Cfg.Load (t, w, d, a, off) -> lookup_or_record (Kload (t, w, a, off)) d ins
+      | Cfg.Mov (d, _) ->
+        kill_reg d;
+        ins
+      | Cfg.Store _ ->
+        kill_memory ();
+        ins
+      | Cfg.Call (d, _, _) ->
+        kill_memory ();
+        Option.iter kill_reg d;
+        ins
+    in
+    b.ins <- List.map step b.ins
+  in
+  List.iter run_block f.blocks
+
+let dce (f : Cfg.func) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used : (Cfg.vreg, unit) Hashtbl.t = Hashtbl.create 64 in
+    let mark = function Cfg.Reg r -> Hashtbl.replace used r () | _ -> () in
+    List.iter
+      (fun (b : Cfg.block) ->
+        List.iter (fun ins -> List.iter mark (Cfg.uses ins)) b.ins;
+        List.iter mark (Cfg.term_uses b.term))
+      f.blocks;
+    let pure_dead ins =
+      match ins with
+      | Cfg.Bin (op, d, _, b) ->
+        let trapping =
+          match op with
+          | Ast.Div | Ast.Rem -> ( match b with Cfg.Ci z when z <> 0L -> false | _ -> true)
+          | _ -> false
+        in
+        (not trapping) && not (Hashtbl.mem used d)
+      | Cfg.Un (_, d, _) | Cfg.Mov (d, _) -> not (Hashtbl.mem used d)
+      | Cfg.Load (_, _, d, _, _) -> not (Hashtbl.mem used d)
+      | Cfg.Store _ | Cfg.Call _ -> false
+    in
+    List.iter
+      (fun (b : Cfg.block) ->
+        let before = List.length b.ins in
+        b.ins <- List.filter (fun i -> not (pure_dead i)) b.ins;
+        if List.length b.ins <> before then changed := true)
+      f.blocks
+  done
+
+let simplify_branches (f : Cfg.func) =
+  List.iter
+    (fun (b : Cfg.block) ->
+      match b.term with
+      | Cfg.Br (Cfg.Ci c, l1, l2) -> b.term <- Cfg.Jmp (if c <> 0L then l1 else l2)
+      | Cfg.Br (Cfg.Cf c, l1, l2) -> b.term <- Cfg.Jmp (if c <> 0. then l1 else l2)
+      | _ -> ())
+    f.blocks;
+  (* drop blocks made unreachable *)
+  match f.blocks with
+  | [] -> ()
+  | entry :: _ ->
+    let reached = Hashtbl.create 16 in
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (b : Cfg.block) -> Hashtbl.replace tbl b.label b) f.blocks;
+    let rec visit l =
+      if not (Hashtbl.mem reached l) then begin
+        Hashtbl.add reached l ();
+        match Hashtbl.find_opt tbl l with
+        | Some b -> List.iter visit (Cfg.successors b.term)
+        | None -> ()
+      end
+    in
+    visit entry.label;
+    f.blocks <- List.filter (fun (b : Cfg.block) -> Hashtbl.mem reached b.label) f.blocks
+
+let run ?(rounds = 10) (f : Cfg.func) =
+  (* iterate to a fixpoint (bounded): later passes expose work for earlier
+     ones, e.g. CSE introduces moves that copyprop then propagates *)
+  let fingerprint () = Format.asprintf "%a" pp_compact f in
+  let rec go n prev =
+    if n > 0 then begin
+      constfold f;
+      copyprop f;
+      cse f;
+      dce f;
+      simplify_branches f;
+      let now = fingerprint () in
+      if now <> prev then go (n - 1) now
+    end
+  in
+  go rounds (fingerprint ())
+
+let run_program ?rounds (p : Cfg.program) = List.iter (run ?rounds) p.funcs

@@ -1,0 +1,30 @@
+(** Machine-independent CFG optimizations.
+
+    These correspond to the "conventional optimizations" the TRIPS compiler
+    applies before block formation (§2): constant folding, local value and
+    copy propagation, local common-subexpression elimination, and dead-code
+    elimination.  All passes are semantics-preserving (checked by the qcheck
+    differential suite) and idempotent at fixpoint. *)
+
+val constfold : Cfg.func -> unit
+(** Fold operators whose operands are constants.  Folding never introduces a
+    trap (division by a zero constant is left in place). *)
+
+val copyprop : Cfg.func -> unit
+(** Block-local value/copy propagation through [Mov]s. *)
+
+val cse : Cfg.func -> unit
+(** Block-local common-subexpression elimination over pure operators and
+    loads (loads are killed by stores and calls). *)
+
+val dce : Cfg.func -> unit
+(** Remove pure instructions whose results are never used anywhere in the
+    function. *)
+
+val simplify_branches : Cfg.func -> unit
+(** Turn branches on constants into jumps and drop unreachable blocks. *)
+
+val run : ?rounds:int -> Cfg.func -> unit
+(** Fixpoint driver: apply all passes [rounds] times (default 10, stops early at fixpoint). *)
+
+val run_program : ?rounds:int -> Cfg.program -> unit

@@ -1,0 +1,70 @@
+exception Trap of string
+
+let sext w x =
+  match (w : Ty.width) with
+  | Ty.W1 -> Int64.shift_right (Int64.shift_left x 56) 56
+  | Ty.W2 -> Int64.shift_right (Int64.shift_left x 48) 48
+  | Ty.W4 -> Int64.shift_right (Int64.shift_left x 32) 32
+  | Ty.W8 -> x
+
+let zext w x =
+  match (w : Ty.width) with
+  | Ty.W1 -> Int64.logand x 0xFFL
+  | Ty.W2 -> Int64.logand x 0xFFFFL
+  | Ty.W4 -> Int64.logand x 0xFFFFFFFFL
+  | Ty.W8 -> x
+
+let bool_val b = Ty.Vi (if b then 1L else 0L)
+
+let ii f a b = Ty.Vi (f (Ty.as_int a) (Ty.as_int b))
+let ff f a b = Ty.Vf (f (Ty.as_float a) (Ty.as_float b))
+let icmp f a b = bool_val (f (Int64.compare (Ty.as_int a) (Ty.as_int b)) 0)
+let fcmp f a b = bool_val (f (compare (Ty.as_float a) (Ty.as_float b)) 0)
+
+let shift_amount b = Int64.to_int (Int64.logand (Ty.as_int b) 63L)
+
+let binop (op : Ast.binop) (a : Ty.value) (b : Ty.value) : Ty.value =
+  match op with
+  | Ast.Add -> ii Int64.add a b
+  | Ast.Sub -> ii Int64.sub a b
+  | Ast.Mul -> ii Int64.mul a b
+  | Ast.Div ->
+    if Ty.as_int b = 0L then raise (Trap "integer division by zero");
+    ii Int64.div a b
+  | Ast.Rem ->
+    if Ty.as_int b = 0L then raise (Trap "integer remainder by zero");
+    ii Int64.rem a b
+  | Ast.And -> ii Int64.logand a b
+  | Ast.Or -> ii Int64.logor a b
+  | Ast.Xor -> ii Int64.logxor a b
+  | Ast.Shl -> Ty.Vi (Int64.shift_left (Ty.as_int a) (shift_amount b))
+  | Ast.Lsr -> Ty.Vi (Int64.shift_right_logical (Ty.as_int a) (shift_amount b))
+  | Ast.Asr -> Ty.Vi (Int64.shift_right (Ty.as_int a) (shift_amount b))
+  | Ast.Eq -> icmp ( = ) a b
+  | Ast.Ne -> icmp ( <> ) a b
+  | Ast.Lt -> icmp ( < ) a b
+  | Ast.Le -> icmp ( <= ) a b
+  | Ast.Gt -> icmp ( > ) a b
+  | Ast.Ge -> icmp ( >= ) a b
+  | Ast.Ult -> bool_val (Int64.unsigned_compare (Ty.as_int a) (Ty.as_int b) < 0)
+  | Ast.Ule -> bool_val (Int64.unsigned_compare (Ty.as_int a) (Ty.as_int b) <= 0)
+  | Ast.Fadd -> ff ( +. ) a b
+  | Ast.Fsub -> ff ( -. ) a b
+  | Ast.Fmul -> ff ( *. ) a b
+  | Ast.Fdiv -> ff ( /. ) a b
+  | Ast.Feq -> fcmp ( = ) a b
+  | Ast.Fne -> fcmp ( <> ) a b
+  | Ast.Flt -> fcmp ( < ) a b
+  | Ast.Fle -> fcmp ( <= ) a b
+  | Ast.Fgt -> fcmp ( > ) a b
+  | Ast.Fge -> fcmp ( >= ) a b
+
+let unop (op : Ast.unop) (a : Ty.value) : Ty.value =
+  match op with
+  | Ast.Neg -> Ty.Vi (Int64.neg (Ty.as_int a))
+  | Ast.Not -> Ty.Vi (Int64.lognot (Ty.as_int a))
+  | Ast.Fneg -> Ty.Vf (-.Ty.as_float a)
+  | Ast.Itof -> Ty.Vf (Int64.to_float (Ty.as_int a))
+  | Ast.Ftoi -> Ty.Vi (Int64.of_float (Ty.as_float a))
+  | Ast.Sext w -> Ty.Vi (sext w (Ty.as_int a))
+  | Ast.Zext w -> Ty.Vi (zext w (Ty.as_int a))

@@ -1,0 +1,420 @@
+open Ast
+
+let rec subst_expr x rep (e : expr) : expr =
+  match e with
+  | Int _ | Flt _ | Glo _ -> e
+  | Var y -> if y = x then rep else e
+  | Bin (op, a, b) -> Bin (op, subst_expr x rep a, subst_expr x rep b)
+  | Un (op, a) -> Un (op, subst_expr x rep a)
+  | Load (t, w, a) -> Load (t, w, subst_expr x rep a)
+  | Call (f, args) -> Call (f, List.map (subst_expr x rep) args)
+
+(* Substitute reads of [x]; stops (returns None) if the statement list
+   assigns [x], since the substitution would then be wrong. *)
+let rec subst_stmts x rep (ss : stmt list) : stmt list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | s :: rest -> (
+      match subst_stmt x rep s with
+      | Some s' -> go (s' :: acc) rest
+      | None -> None)
+  in
+  go [] ss
+
+and subst_stmt x rep (s : stmt) : stmt option =
+  match s with
+  | Let (y, e) ->
+    if y = x then None else Some (Let (y, subst_expr x rep e))
+  | Store (w, a, v) -> Some (Store (w, subst_expr x rep a, subst_expr x rep v))
+  | If (c, t, e) -> (
+    match (subst_stmts x rep t, subst_stmts x rep e) with
+    | Some t', Some e' -> Some (If (subst_expr x rep c, t', e'))
+    | _ -> None)
+  | While (c, b) -> (
+    match subst_stmts x rep b with
+    | Some b' -> Some (While (subst_expr x rep c, b'))
+    | None -> None)
+  | For (y, lo, hi, st, b) ->
+    if y = x then
+      (* the inner loop shadows [x] by assigning it *)
+      None
+    else (
+      match subst_stmts x rep b with
+      | Some b' -> Some (For (y, subst_expr x rep lo, subst_expr x rep hi, st, b'))
+      | None -> None)
+  | Expr e -> Some (Expr (subst_expr x rep e))
+  | Return None -> Some s
+  | Return (Some e) -> Some (Return (Some (subst_expr x rep e)))
+
+(* Variables assigned anywhere in a statement list. *)
+let rec assigned_vars acc = function
+  | [] -> acc
+  | Let (x, _) :: rest -> assigned_vars (x :: acc) rest
+  | For (x, _, _, _, b) :: rest -> assigned_vars (assigned_vars (x :: acc) b) rest
+  | If (_, t, e) :: rest -> assigned_vars (assigned_vars (assigned_vars acc t) e) rest
+  | While (_, b) :: rest -> assigned_vars (assigned_vars acc b) rest
+  | (Store _ | Expr _ | Return _) :: rest -> assigned_vars acc rest
+
+let rec vars_of_expr acc = function
+  | Int _ | Flt _ | Glo _ -> acc
+  | Var x -> x :: acc
+  | Bin (_, a, b) -> vars_of_expr (vars_of_expr acc a) b
+  | Un (_, a) -> vars_of_expr acc a
+  | Load (_, _, a) -> vars_of_expr acc a
+  | Call (_, args) -> List.fold_left vars_of_expr acc args
+
+let rec has_call = function
+  | Int _ | Flt _ | Glo _ | Var _ -> false
+  | Bin (_, a, b) -> has_call a || has_call b
+  | Un (_, a) -> has_call a
+  | Load (_, _, a) -> has_call a
+  | Call _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Loop unrolling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let unroll_for factor x lo hi step body =
+  let body_assigns = assigned_vars [] body in
+  let hi_vars = vars_of_expr [] hi in
+  let legal =
+    factor > 1
+    && (not (List.mem x body_assigns))
+    && (not (List.exists (fun v -> List.mem v body_assigns) hi_vars))
+    && (not (has_call hi))
+  in
+  if not legal then None
+  else begin
+    (* Build the k-fold body: copy j reads the index as (x + j*step). *)
+    let copies = ref [] in
+    let ok = ref true in
+    for j = factor - 1 downto 0 do
+      let idx =
+        if j = 0 then Var x
+        else Bin (Add, Var x, Int (Int64.mul (Int64.of_int j) step))
+      in
+      match subst_stmts x idx body with
+      | Some b -> copies := b :: !copies
+      | None -> ok := false
+    done;
+    if not !ok then None
+    else begin
+      let big_body = List.concat !copies in
+      let slack = Int64.mul (Int64.of_int (factor - 1)) step in
+      (* main loop runs while all [factor] iterations are in range *)
+      let main_hi = Bin (Sub, hi, Int slack) in
+      let main = For (x, lo, main_hi, Int64.mul (Int64.of_int factor) step, big_body) in
+      let remainder = For (x, Var x, hi, step, body) in
+      Some [ main; remainder ]
+    end
+  end
+
+let rec has_loop = function
+  | For _ | While _ -> true
+  | If (_, t, e) -> List.exists has_loop t || List.exists has_loop e
+  | Let _ | Store _ | Expr _ | Return _ -> false
+
+(* Only innermost loops are unrolled: unrolling every nesting level would
+   grow code by factor^depth (and the innermost loop is where unrolling
+   pays in any case). *)
+let rec unroll_stmt factor (s : stmt) : stmt list =
+  match s with
+  | For (x, lo, hi, step, body) when not (List.exists has_loop body) -> (
+    match unroll_for factor x lo hi step body with
+    | Some stmts -> stmts
+    | None -> [ For (x, lo, hi, step, body) ])
+  | For (x, lo, hi, step, body) -> [ For (x, lo, hi, step, unroll_body factor body) ]
+  | If (c, t, e) -> [ If (c, unroll_body factor t, unroll_body factor e) ]
+  | While (c, b) -> [ While (c, unroll_body factor b) ]
+  | s -> [ s ]
+
+and unroll_body factor ss = List.concat_map (unroll_stmt factor) ss
+
+let unroll ~factor (f : func) : func =
+  if factor <= 1 then f else { f with body = unroll_body factor f.body }
+
+let unroll_program ~factor (p : program) : program =
+  { p with funcs = List.map (unroll ~factor) p.funcs }
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec straight_line (ss : stmt list) =
+  match ss with
+  | [] -> true
+  | [ Return _ ] -> true
+  | (Let _ | Store _ | Expr _) :: rest -> straight_line rest
+  | (If _ | While _ | For _ | Return _) :: _ -> false
+
+let inlinable (f : func) =
+  straight_line f.body
+  && List.length f.body <= 24
+
+let gensym =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s$%d" prefix !n
+
+(* Rename every local of an inlined body with a fresh suffix so it cannot
+   collide with the caller's variables. *)
+let freshen_func (f : func) =
+  let suffix = gensym "inl" in
+  let rename x = x ^ "." ^ suffix in
+  let rec rn_expr = function
+    | (Int _ | Flt _ | Glo _) as e -> e
+    | Var x -> Var (rename x)
+    | Bin (op, a, b) -> Bin (op, rn_expr a, rn_expr b)
+    | Un (op, a) -> Un (op, rn_expr a)
+    | Load (t, w, a) -> Load (t, w, rn_expr a)
+    | Call (g, args) -> Call (g, List.map rn_expr args)
+  in
+  let rec rn_stmt = function
+    | Let (x, e) -> Let (rename x, rn_expr e)
+    | Store (w, a, v) -> Store (w, rn_expr a, rn_expr v)
+    | If (c, t, e) -> If (rn_expr c, List.map rn_stmt t, List.map rn_stmt e)
+    | While (c, b) -> While (rn_expr c, List.map rn_stmt b)
+    | For (x, lo, hi, st, b) -> For (rename x, rn_expr lo, rn_expr hi, st, List.map rn_stmt b)
+    | Expr e -> Expr (rn_expr e)
+    | Return e -> Return (Option.map rn_expr e)
+  in
+  let params = List.map (fun (x, t) -> (rename x, t)) f.params in
+  { f with params; body = List.map rn_stmt f.body }
+
+let inline (p : program) : program =
+  let candidates =
+    List.filter_map (fun f -> if inlinable f then Some (f.fname, f) else None) p.funcs
+  in
+  let find name = List.assoc_opt name candidates in
+  (* Expand one call: returns binding statements and the result expression. *)
+  let expand fname args : (stmt list * expr option) option =
+    match find fname with
+    | None -> None
+    | Some callee ->
+      let callee = freshen_func callee in
+      let binds = List.map2 (fun (x, _) a -> Let (x, a)) callee.params args in
+      let rec split acc = function
+        | [] -> (List.rev acc, None)
+        | [ Return e ] -> (List.rev acc, e)
+        | s :: rest -> split (s :: acc) rest
+      in
+      let body, ret = split [] callee.body in
+      Some (binds @ body, ret)
+  in
+  (* Hoist and inline calls appearing in expressions.  Returns the
+     statements to prepend and the rewritten expression. *)
+  let rec rw_expr (e : expr) : stmt list * expr =
+    match e with
+    | Int _ | Flt _ | Glo _ | Var _ -> ([], e)
+    | Bin (op, a, b) ->
+      let sa, a' = rw_expr a in
+      let sb, b' = rw_expr b in
+      (sa @ sb, Bin (op, a', b'))
+    | Un (op, a) ->
+      let sa, a' = rw_expr a in
+      (sa, Un (op, a'))
+    | Load (t, w, a) ->
+      let sa, a' = rw_expr a in
+      (sa, Load (t, w, a'))
+    | Call (fname, args) -> (
+      let pres, args' =
+        List.fold_right
+          (fun a (ps, as_) ->
+            let pa, a' = rw_expr a in
+            (pa @ ps, a' :: as_))
+          args ([], [])
+      in
+      match expand fname args' with
+      | Some (stmts, Some ret) ->
+        let tmp = gensym "ret" in
+        (pres @ stmts @ [ Let (tmp, ret) ], Var tmp)
+      | Some (_, None) | None -> (pres, Call (fname, args')))
+  in
+  let rec rw_stmt (s : stmt) : stmt list =
+    match s with
+    | Let (x, e) ->
+      let pre, e' = rw_expr e in
+      pre @ [ Let (x, e') ]
+    | Store (w, a, v) ->
+      let pa, a' = rw_expr a in
+      let pv, v' = rw_expr v in
+      pa @ pv @ [ Store (w, a', v') ]
+    | If (c, t, e) ->
+      let pc, c' = rw_expr c in
+      pc @ [ If (c', rw_stmts t, rw_stmts e) ]
+    | While (c, b) ->
+      (* only rewrite the body: hoisting out of the condition would change
+         how often the callee runs *)
+      let pc, c' = rw_expr c in
+      if pc = [] then [ While (c', rw_stmts b) ] else [ While (c, rw_stmts b) ]
+    | For (x, lo, hi, st, b) ->
+      let plo, lo' = rw_expr lo in
+      let phi, hi' = rw_expr hi in
+      if phi = [] then plo @ [ For (x, lo', hi', st, rw_stmts b) ]
+      else [ For (x, lo, hi, st, rw_stmts b) ]
+    | Expr (Call (fname, args)) -> (
+      let pres, args' =
+        List.fold_right
+          (fun a (ps, as_) ->
+            let pa, a' = rw_expr a in
+            (pa @ ps, a' :: as_))
+          args ([], [])
+      in
+      match expand fname args' with
+      | Some (stmts, _) -> pres @ stmts
+      | None -> pres @ [ Expr (Call (fname, args')) ])
+    | Expr e ->
+      let pre, e' = rw_expr e in
+      pre @ [ Expr e' ]
+    | Return None -> [ Return None ]
+    | Return (Some e) ->
+      let pre, e' = rw_expr e in
+      pre @ [ Return (Some e') ]
+  and rw_stmts ss = List.concat_map rw_stmt ss in
+  let funcs =
+    List.map
+      (fun f ->
+        if inlinable f then f (* leaf helpers keep their bodies *)
+        else { f with body = rw_stmts f.body })
+      p.funcs
+  in
+  { p with funcs }
+
+(* ------------------------------------------------------------------ *)
+(* Tree-height reduction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The TRIPS compiler applies tree-height reduction to expose parallelism
+   in reduction chains (paper 2).  We implement the loop form: a counted
+   innermost loop accumulating [acc = acc + e] is split across four
+   interleaved accumulators combined after the loop, shortening the
+   loop-carried dependence by 4x.  Applied at the source level so every
+   pipeline (including the reference interpreter) computes the identical
+   floating-point association. *)
+
+let reassoc_ways = 4
+
+let rec vars_of_stmts acc = function
+  | [] -> acc
+  | s :: rest ->
+    let acc =
+      match s with
+      | Let (_, e) -> vars_of_expr acc e
+      | Store (_, a, v) -> vars_of_expr (vars_of_expr acc a) v
+      | If (c, t, e) -> vars_of_expr (vars_of_stmts (vars_of_stmts acc t) e) c
+      | While (c, b) -> vars_of_expr (vars_of_stmts acc b) c
+      | For (_, lo, hi, _, b) -> vars_of_expr (vars_of_expr (vars_of_stmts acc b) lo) hi
+      | Expr e -> vars_of_expr acc e
+      | Return (Some e) -> vars_of_expr acc e
+      | Return None -> acc
+    in
+    vars_of_stmts acc rest
+
+let rec stmts_have_return = function
+  | [] -> false
+  | Return _ :: _ -> true
+  | If (_, t, e) :: rest -> stmts_have_return t || stmts_have_return e || stmts_have_return rest
+  | (While (_, b) | For (_, _, _, _, b)) :: rest -> stmts_have_return b || stmts_have_return rest
+  | _ :: rest -> stmts_have_return rest
+
+(* Find the unique reduction statement [acc = acc op e] in a loop body. *)
+let find_reduction body =
+  let candidates =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Let (a, Bin ((Add | Fadd) as op, Var a', e)) when a = a' -> Some (a, op, e)
+        | Let (a, Bin ((Add | Fadd) as op, e, Var a')) when a = a' -> Some (a, op, e)
+        | _ -> None)
+      body
+  in
+  match candidates with
+  | [ (a, op, e) ] ->
+    (* [a] must appear nowhere else: not in [e], not in other statements *)
+    let others =
+      List.concat_map
+        (fun s ->
+          match s with
+          | Let (a', Bin (_, _, _)) when a' = a -> []   (* the reduction itself *)
+          | s -> vars_of_stmts [] [ s ])
+        body
+    in
+    let assigned = assigned_vars [] (List.filter (fun s -> s <> Let (a, Bin (op, Var a, e)) && s <> Let (a, Bin (op, e, Var a))) body) in
+    if List.mem a (vars_of_expr [] e) || List.mem a others || List.mem a assigned then None
+    else Some (a, op, e)
+  | _ -> None
+
+let reassoc_for x lo hi step body =
+  match find_reduction body with
+  | None -> None
+  | Some (acc, op, _) ->
+    let body_assigns = assigned_vars [] body in
+    let hi_vars = vars_of_expr [] hi in
+    let legal =
+      (not (List.mem x body_assigns))
+      && (not (List.exists (fun v -> List.mem v body_assigns) hi_vars))
+      && (not (has_call hi))
+      && (not (stmts_have_return body))
+    in
+    if not legal then None
+    else begin
+      let zero = match op with Fadd -> Flt 0.0 | _ -> Int 0L in
+      let part j = Printf.sprintf "%s$thr%d" acc j in
+      (* copy j accumulates into its own partial and reads index x + j*step *)
+      let copy j =
+        let renamed =
+          List.map
+            (fun s ->
+              match s with
+              | Let (a, Bin (o, Var a', e)) when a = acc && a' = acc && o = op ->
+                Let (part j, Bin (o, Var (part j), e))
+              | Let (a, Bin (o, e, Var a')) when a = acc && a' = acc && o = op ->
+                Let (part j, Bin (o, Var (part j), e))
+              | s -> s)
+            body
+        in
+        if j = 0 then Some renamed
+        else
+          subst_stmts x (Bin (Add, Var x, Int (Int64.mul (Int64.of_int j) step))) renamed
+      in
+      let copies = List.init reassoc_ways copy in
+      if List.exists (fun c -> c = None) copies then None
+      else begin
+        let big = List.concat_map Option.get copies in
+        let slack = Int64.mul (Int64.of_int (reassoc_ways - 1)) step in
+        let prologue = List.init reassoc_ways (fun j -> Let (part j, zero)) in
+        let main =
+          For (x, lo, Bin (Sub, hi, Int slack), Int64.mul (Int64.of_int reassoc_ways) step, big)
+        in
+        let remainder = For (x, Var x, hi, step, body) in
+        let combine =
+          let sum =
+            List.fold_left
+              (fun e j -> Bin (op, e, Var (part j)))
+              (Var (part 0))
+              (List.init (reassoc_ways - 1) (fun j -> j + 1))
+          in
+          Let (acc, Bin (op, Var acc, sum))
+        in
+        Some (prologue @ [ main; remainder; combine ])
+      end
+    end
+
+let rec reassoc_stmt (s : stmt) : stmt list =
+  match s with
+  | For (x, lo, hi, step, body) when not (List.exists has_loop body) -> (
+    match reassoc_for x lo hi step body with
+    | Some stmts -> stmts
+    | None -> [ s ])
+  | For (x, lo, hi, step, body) -> [ For (x, lo, hi, step, reassoc_body body) ]
+  | If (c, t, e) -> [ If (c, reassoc_body t, reassoc_body e) ]
+  | While (c, b) -> [ While (c, reassoc_body b) ]
+  | s -> [ s ]
+
+and reassoc_body ss = List.concat_map reassoc_stmt ss
+
+let reassociate (f : func) : func = { f with body = reassoc_body f.body }
+
+let reassociate_program (p : program) : program =
+  { p with funcs = List.map reassociate p.funcs }

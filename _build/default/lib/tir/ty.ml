@@ -1,0 +1,30 @@
+type t = I64 | F64
+
+type width = W1 | W2 | W4 | W8
+
+let bytes_of_width = function W1 -> 1 | W2 -> 2 | W4 -> 4 | W8 -> 8
+
+type value = Vi of int64 | Vf of float
+
+let zero = function I64 -> Vi 0L | F64 -> Vf 0.
+
+let pp ppf = function
+  | I64 -> Format.pp_print_string ppf "i64"
+  | F64 -> Format.pp_print_string ppf "f64"
+
+let pp_value ppf = function
+  | Vi i -> Format.fprintf ppf "%Ld" i
+  | Vf f -> Format.fprintf ppf "%g" f
+
+let to_string t = Format.asprintf "%a" pp t
+let value_to_string v = Format.asprintf "%a" pp_value v
+
+let as_int = function
+  | Vi i -> i
+  | Vf _ -> invalid_arg "Ty.as_int: float value"
+
+let as_float = function
+  | Vf f -> f
+  | Vi _ -> invalid_arg "Ty.as_float: integer value"
+
+let truthy = function Vi i -> i <> 0L | Vf f -> f <> 0.

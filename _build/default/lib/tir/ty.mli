@@ -1,0 +1,33 @@
+(** Types and runtime values of the tiny IR (TIR).
+
+    TIR is the source language of this reproduction: all benchmarks are
+    written in it, and both the EDGE compiler ({!Trips_compiler}) and the
+    PowerPC-like RISC backend ({!Trips_risc}) lower it, mirroring how the
+    paper runs the same C sources through the TRIPS compiler and gcc. *)
+
+type t = I64 | F64
+(** Value types: 64-bit integers and doubles.  Sub-word data lives in memory
+    and is widened on load, as on the TRIPS prototype. *)
+
+type width = W1 | W2 | W4 | W8
+(** Memory access widths in bytes (1, 2, 4, 8). *)
+
+val bytes_of_width : width -> int
+
+type value = Vi of int64 | Vf of float
+(** Runtime values used by the interpreter and both functional simulators. *)
+
+val zero : t -> value
+val pp : Format.formatter -> t -> unit
+val pp_value : Format.formatter -> value -> unit
+val to_string : t -> string
+val value_to_string : value -> string
+
+val as_int : value -> int64
+(** @raise Invalid_argument on a float value. *)
+
+val as_float : value -> float
+(** @raise Invalid_argument on an integer value. *)
+
+val truthy : value -> bool
+(** C-style truth: nonzero integer / nonzero float. *)

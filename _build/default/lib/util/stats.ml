@@ -1,0 +1,41 @@
+type counter = { cname : string; mutable value : int }
+
+let counter cname = { cname; value = 0 }
+let name c = c.cname
+let incr c = c.value <- c.value + 1
+let add c n = c.value <- c.value + n
+let get c = c.value
+let reset c = c.value <- 0
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let logs = List.map (fun x -> assert (x > 0.); log x) xs in
+    exp (mean logs)
+
+let ratio a b = if b = 0 then 0. else float_of_int a /. float_of_int b
+let percent part whole = 100. *. ratio part whole
+
+type running = {
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let running () = { n = 0; sum = 0.; lo = infinity; hi = neg_infinity }
+
+let observe r x =
+  r.n <- r.n + 1;
+  r.sum <- r.sum +. x;
+  if x < r.lo then r.lo <- x;
+  if x > r.hi then r.hi <- x
+
+let count r = r.n
+let average r = if r.n = 0 then 0. else r.sum /. float_of_int r.n
+let minimum r = if r.n = 0 then 0. else r.lo
+let maximum r = if r.n = 0 then 0. else r.hi

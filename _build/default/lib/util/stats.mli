@@ -1,0 +1,38 @@
+(** Counters and summary statistics shared by all simulators.
+
+    Simulators expose their measurements as named counters; the harness
+    aggregates them into means.  Arithmetic and geometric means mirror the
+    paper's usage: arithmetic for block-size/occupancy figures (Figs 3, 6),
+    geometric for normalized ratios and speedups (Figs 4, 5, 11, 12). *)
+
+type counter
+(** A mutable named tally. *)
+
+val counter : string -> counter
+val name : counter -> string
+val incr : counter -> unit
+val add : counter -> int -> unit
+val get : counter -> int
+val reset : counter -> unit
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 on the empty list; requires strictly positive inputs. *)
+
+val ratio : int -> int -> float
+(** [ratio a b] is [a /. b] guarding division by zero (yields 0). *)
+
+val percent : int -> int -> float
+(** [percent part whole] in 0..100, guarded. *)
+
+type running
+(** Online mean/min/max accumulator. *)
+
+val running : unit -> running
+val observe : running -> float -> unit
+val count : running -> int
+val average : running -> float
+val minimum : running -> float
+val maximum : running -> float

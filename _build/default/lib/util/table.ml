@@ -1,0 +1,80 @@
+type align = Left | Right
+
+type line = Row of string list | Sep
+
+type t = {
+  title : string option;
+  header : string list;
+  aligns : align array;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?title columns =
+  {
+    title;
+    header = List.map fst columns;
+    aligns = Array.of_list (List.map snd columns);
+    lines = [];
+  }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: wrong arity";
+  t.lines <- Row row :: t.lines
+
+let add_sep t = t.lines <- Sep :: t.lines
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.lines in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  measure t.header;
+  List.iter (function Row r -> measure r | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let sep_line () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        if i < ncols - 1 then Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad t.aligns.(i) widths.(i) c);
+        Buffer.add_char buf ' ';
+        if i < ncols - 1 then Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  emit t.header;
+  sep_line ();
+  List.iter (function Row r -> emit r | Sep -> sep_line ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fnum x =
+  let ax = Float.abs x in
+  if ax < 100. then Printf.sprintf "%.2f" x
+  else if ax < 1000. then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.0f" x
+
+let fpct x = Printf.sprintf "%.1f%%" x

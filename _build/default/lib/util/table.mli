@@ -1,0 +1,31 @@
+(** Aligned plain-text tables.
+
+    Every experiment in the harness renders its rows through this module so
+    the bench output has a single, diffable format.  Columns are sized to
+    their widest cell; numeric cells are right-aligned, text left-aligned. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the row length must match the header. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator before the next row. *)
+
+val render : t -> string
+(** The finished table as a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fnum : float -> string
+(** Compact fixed-point formatting used across experiment tables:
+    two decimals under 100, one decimal under 1000, integral above. *)
+
+val fpct : float -> string
+(** Percentage with one decimal and a ["%"] suffix. *)

@@ -1,0 +1,1 @@
+lib/workloads/data.ml: Array Hashtbl Int64 Trips_tir Trips_util

@@ -1,0 +1,1 @@
+lib/workloads/eembc_auto.mli: Trips_tir

@@ -1,0 +1,1 @@
+lib/workloads/eembc_dsp.ml: Data Float Trips_tir

@@ -1,0 +1,1 @@
+lib/workloads/eembc_dsp.mli: Trips_tir

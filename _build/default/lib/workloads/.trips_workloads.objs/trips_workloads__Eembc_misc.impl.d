@@ -1,0 +1,1 @@
+lib/workloads/eembc_misc.ml: Data Float Int64 Trips_tir

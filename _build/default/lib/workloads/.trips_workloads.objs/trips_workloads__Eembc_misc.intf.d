@@ -1,0 +1,1 @@
+lib/workloads/eembc_misc.mli: Trips_tir

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Data Int64 List Trips_compiler Trips_edge Trips_tir

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Eembc_auto Eembc_dsp Eembc_misc Hashtbl Kernels List Specfp Specint Trips_edge Trips_tir Versabench

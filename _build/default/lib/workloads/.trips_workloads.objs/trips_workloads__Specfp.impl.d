@@ -1,0 +1,1 @@
+lib/workloads/specfp.ml: Data Int64 Trips_tir

@@ -1,0 +1,1 @@
+lib/workloads/specfp.mli: Trips_tir

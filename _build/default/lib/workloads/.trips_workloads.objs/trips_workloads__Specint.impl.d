@@ -1,0 +1,1 @@
+lib/workloads/specint.ml: Data Int64 Trips_tir

@@ -1,0 +1,1 @@
+lib/workloads/specint.mli: Trips_tir

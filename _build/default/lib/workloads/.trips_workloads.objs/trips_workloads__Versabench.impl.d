@@ -1,0 +1,1 @@
+lib/workloads/versabench.ml: Data Trips_tir

@@ -1,0 +1,1 @@
+lib/workloads/versabench.mli: Trips_tir

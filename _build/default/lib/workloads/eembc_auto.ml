@@ -1,0 +1,530 @@
+(* EEMBC automotive/industrial benchmarks (proxy kernels reproducing each
+   original's dominant loop, control and memory idiom). *)
+
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+open Ast.Infix
+
+(* a2time: angle-to-time conversion.  Tooth-wheel pulse stream with deeply
+   nested if/then/else selecting the firing window — the benchmark the
+   paper singles out for heavy predication (§4.1). *)
+let a2time =
+  let n = 2048 in
+  Ast.program
+    ~globals:[ Data.ints "a2_pulse" ~lo:1 ~hi:1000 n ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          set "window" (i 0);
+          set "last" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "t" (ld8 (Data.elt8 "a2_pulse" (v "k")));
+              set "delta" (v "t" -: v "last");
+              set "last" (v "t");
+              if_ (v "delta" <: i 0)
+                [ set "delta" (i 0 -: v "delta") ]
+                [];
+              if_ (v "delta" <: i 100)
+                [
+                  if_ (v "window" =: i 0)
+                    [ set "window" (i 1); set "acc" (v "acc" +: i 3) ]
+                    [ set "acc" (v "acc" +: (v "delta" >>: i 2)) ];
+                ]
+                [
+                  if_ (v "delta" <: i 500)
+                    [ set "acc" (v "acc" +: (v "delta" >>: i 4)) ]
+                    [ set "window" (i 0); set "acc" (v "acc" +: i 1) ];
+                ];
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* aifftr: fixed-point radix-2 decimation-in-time FFT butterflies with a
+   precomputed twiddle approximation (integers scaled by 2^10). *)
+let aifftr =
+  let n = 256 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "fftr_re" ~lo:(-512) ~hi:512 n;
+        Data.ints "fftr_im" ~lo:(-512) ~hi:512 n;
+        Data.ints_f "fftr_cos" (n / 2) (fun k ->
+            Int64.of_float (1024. *. cos (2. *. Float.pi *. float_of_int k /. float_of_int n)));
+        Data.ints_f "fftr_sin" (n / 2) (fun k ->
+            Int64.of_float (1024. *. sin (2. *. Float.pi *. float_of_int k /. float_of_int n)));
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "len" (i 2);
+          while_ (v "len" <=: i n)
+            [
+              set "half" (v "len" >>: i 1);
+              set "step" (i n /: v "len");
+              for_ "blk" (i 0) (i n /: v "len")
+                [
+                  for_ "j" (i 0) (v "half")
+                    [
+                      set "p" ((v "blk" *: v "len") +: v "j");
+                      set "q" (v "p" +: v "half");
+                      set "wr" (ld8 (Data.elt8 "fftr_cos" (v "j" *: v "step")));
+                      set "wi" (ld8 (Data.elt8 "fftr_sin" (v "j" *: v "step")));
+                      set "qr" (ld8 (Data.elt8 "fftr_re" (v "q")));
+                      set "qi" (ld8 (Data.elt8 "fftr_im" (v "q")));
+                      set "tr" (((v "wr" *: v "qr") -: (v "wi" *: v "qi")) >>>: i 10);
+                      set "ti" (((v "wr" *: v "qi") +: (v "wi" *: v "qr")) >>>: i 10);
+                      set "pr" (ld8 (Data.elt8 "fftr_re" (v "p")));
+                      set "pi" (ld8 (Data.elt8 "fftr_im" (v "p")));
+                      st8 (Data.elt8 "fftr_re" (v "p")) (v "pr" +: v "tr");
+                      st8 (Data.elt8 "fftr_im" (v "p")) (v "pi" +: v "ti");
+                      st8 (Data.elt8 "fftr_re" (v "q")) (v "pr" -: v "tr");
+                      st8 (Data.elt8 "fftr_im" (v "q")) (v "pi" -: v "ti");
+                    ];
+                ];
+              set "len" (v "len" <<: i 1);
+            ];
+          set "acc" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "acc"
+                (v "acc"
+                ^: ((ld8 (Data.elt8 "fftr_re" (v "k")) +: ld8 (Data.elt8 "fftr_im" (v "k")))
+                   <<: (v "k" &: i 15)));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* aifirf: fixed-point FIR over a sensor stream. *)
+let aifirf =
+  let n = 2048 and taps = 24 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "fir_in" ~lo:(-128) ~hi:127 n;
+        Data.ints_f "fir_coef" taps (fun k -> Int64.of_int (13 - k));
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "s" (i 0) (i (n - taps))
+            [
+              set "y" (i 0);
+              for_ "t" (i 0) (i taps)
+                [
+                  set "y"
+                    (v "y"
+                    +: (ld8 (Data.elt8 "fir_in" (v "s" +: v "t"))
+                       *: ld8 (Data.elt8 "fir_coef" (v "t"))));
+                ];
+              set "acc" (v "acc" ^: (v "y" <<: (v "s" &: i 7)));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* basefp: floating-point fundamentals — Horner polynomials and a
+   Newton-Raphson reciprocal per element. *)
+let basefp =
+  let n = 1024 in
+  Ast.program
+    ~globals:[ Data.floats "bf_x" ~scale:4.0 n ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "acc" (f 0.0);
+          for_ "k" (i 0) (i n)
+            [
+              set "x" (ldf (Data.elt8 "bf_x" (v "k")) +.: f 0.5);
+              set "p" (f 1.0);
+              set "p" ((v "p" *.: v "x") +.: f (-0.3));
+              set "p" ((v "p" *.: v "x") +.: f 0.7);
+              set "p" ((v "p" *.: v "x") +.: f (-1.1));
+              (* two Newton steps for 1/x, seeded crudely *)
+              set "r" (f 0.3);
+              set "r" (v "r" *.: (f 2.0 -.: (v "x" *.: v "r")));
+              set "r" (v "r" *.: (f 2.0 -.: (v "x" *.: v "r")));
+              set "acc" (v "acc" +.: (v "p" *.: v "r"));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* bitmnp: bit manipulation — field insert/extract, reversal, population
+   count over a word stream. *)
+let bitmnp =
+  let n = 2048 in
+  Ast.program
+    ~globals:[ Data.ints "bm_in" ~lo:0 ~hi:1000000 n ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "x" (ld8 (Data.elt8 "bm_in" (v "k")));
+              (* byte reverse of the low 32 bits *)
+              set "rv"
+                (((v "x" &: i 0xFF) <<: i 24)
+                |: (((v "x" >>: i 8) &: i 0xFF) <<: i 16)
+                |: (((v "x" >>: i 16) &: i 0xFF) <<: i 8)
+                |: ((v "x" >>: i 24) &: i 0xFF));
+              (* popcount of the low 16 bits *)
+              set "pc" (i 0);
+              for_ "b" (i 0) (i 16)
+                [ set "pc" (v "pc" +: ((v "x" >>: v "b") &: i 1)) ];
+              (* field insert: put pc into bits 20..25 of rv *)
+              set "rv" ((v "rv" &: Ast.Int 0xFC0FFFFFL) |: (v "pc" <<: i 20));
+              set "acc" (v "acc" +: v "rv");
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* canrdr: CAN remote-data-request handling — a message queue with
+   id-matching and branching per message class. *)
+let canrdr =
+  let n = 4096 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "can_id" ~lo:0 ~hi:63 n;
+        Data.ints "can_len" ~lo:0 ~hi:8 n;
+        Data.zeros "can_stat" 64;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "handled" (i 0);
+          set "dropped" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "id" (ld8 (Data.elt8 "can_id" (v "k")));
+              set "len" (ld8 (Data.elt8 "can_len" (v "k")));
+              if_ (v "len" =: i 0)
+                [
+                  (* remote request: respond if the station is active *)
+                  if_ (ld8 (Data.elt8 "can_stat" (v "id")) >: i 2)
+                    [ set "handled" (v "handled" +: i 2) ]
+                    [ set "dropped" (v "dropped" +: i 1) ];
+                ]
+                [
+                  st8 (Data.elt8 "can_stat" (v "id"))
+                    (ld8 (Data.elt8 "can_stat" (v "id")) +: i 1);
+                  set "handled" (v "handled" +: i 1);
+                ];
+            ];
+          set "sum" (i 0);
+          for_ "s" (i 0) (i 64) [ set "sum" (v "sum" +: ld8 (Data.elt8 "can_stat" (v "s"))) ];
+          ret ((v "handled" <<: i 24) ^: (v "dropped" <<: i 12) ^: v "sum");
+        ];
+    ]
+
+(* idctrn: 8x8 inverse DCT (integer, separable row/column passes). *)
+let idctrn =
+  let blocks = 48 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "idct_in" ~lo:(-256) ~hi:255 (blocks * 64);
+        Data.ints_f "idct_c" 64 (fun k ->
+            let u = k / 8 and x = k mod 8 in
+            Int64.of_float
+              (256.
+              *. cos (Float.pi *. float_of_int u *. ((2. *. float_of_int x) +. 1.) /. 16.)));
+        Data.zeros "idct_tmp" 64;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "blk" (i 0) (i blocks)
+            [
+              set "base" (v "blk" *: i 64);
+              (* rows *)
+              for_ "r" (i 0) (i 8)
+                [
+                  for_ "x" (i 0) (i 8)
+                    [
+                      set "s" (i 0);
+                      for_ "u" (i 0) (i 8)
+                        [
+                          set "s"
+                            (v "s"
+                            +: (ld8 (Data.elt8 "idct_in" (v "base" +: (v "r" *: i 8) +: v "u"))
+                               *: ld8 (Data.elt8 "idct_c" ((v "u" *: i 8) +: v "x"))));
+                        ];
+                      st8 (Data.elt8 "idct_tmp" ((v "r" *: i 8) +: v "x")) (v "s" >>>: i 8);
+                    ];
+                ];
+              (* columns, accumulated into the checksum *)
+              for_ "x" (i 0) (i 8)
+                [
+                  for_ "y" (i 0) (i 8)
+                    [
+                      set "s" (i 0);
+                      for_ "u" (i 0) (i 8)
+                        [
+                          set "s"
+                            (v "s"
+                            +: (ld8 (Data.elt8 "idct_tmp" ((v "u" *: i 8) +: v "x"))
+                               *: ld8 (Data.elt8 "idct_c" ((v "u" *: i 8) +: v "y"))));
+                        ];
+                      set "acc" (v "acc" +: (v "s" >>>: i 8));
+                    ];
+                ];
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* iirflt: cascade of four IIR biquads over a sample stream. *)
+let iirflt =
+  let n = 4096 in
+  Ast.program
+    ~globals:[ Data.floats "iir_in" ~scale:2.0 n ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "acc" (f 0.0);
+          (* per-stage delay elements *)
+          set "z11" (f 0.0); set "z12" (f 0.0);
+          set "z21" (f 0.0); set "z22" (f 0.0);
+          set "z31" (f 0.0); set "z32" (f 0.0);
+          set "z41" (f 0.0); set "z42" (f 0.0);
+          for_ "k" (i 0) (i n)
+            [
+              set "x" (ldf (Data.elt8 "iir_in" (v "k")));
+              set "w" (v "x" -.: (f 0.4 *.: v "z11") -.: (f 0.2 *.: v "z12"));
+              set "x" ((f 0.3 *.: v "w") +.: (f 0.1 *.: v "z11") +.: (f 0.05 *.: v "z12"));
+              set "z12" (v "z11"); set "z11" (v "w");
+              set "w" (v "x" -.: (f 0.3 *.: v "z21") -.: (f 0.15 *.: v "z22"));
+              set "x" ((f 0.25 *.: v "w") +.: (f 0.12 *.: v "z21"));
+              set "z22" (v "z21"); set "z21" (v "w");
+              set "w" (v "x" -.: (f 0.2 *.: v "z31") -.: (f 0.1 *.: v "z32"));
+              set "x" ((f 0.22 *.: v "w") +.: (f 0.08 *.: v "z32"));
+              set "z32" (v "z31"); set "z31" (v "w");
+              set "w" (v "x" -.: (f 0.1 *.: v "z41") -.: (f 0.05 *.: v "z42"));
+              set "x" ((f 0.2 *.: v "w") +.: (f 0.06 *.: v "z41"));
+              set "z42" (v "z41"); set "z41" (v "w");
+              set "acc" (v "acc" +.: v "x");
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* matrix01: small integer matrix arithmetic — multiply and Gaussian
+   elimination-style row reduction with pivoting branches. *)
+let matrix01 =
+  let n = 16 and reps = 12 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "m01_a" ~lo:1 ~hi:9 (n * n);
+        Data.ints "m01_b" ~lo:1 ~hi:9 (n * n);
+        Data.zeros "m01_c" (n * n);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "rep" (i 0) (i reps)
+            [
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "c" (i 0) (i n)
+                    [
+                      set "s" (i 0);
+                      for_ "k" (i 0) (i n)
+                        [
+                          set "s"
+                            (v "s"
+                            +: (ld8 (Data.elt8 "m01_a" ((v "r" *: i n) +: v "k"))
+                               *: ld8 (Data.elt8 "m01_b" ((v "k" *: i n) +: v "c"))));
+                        ];
+                      st8 (Data.elt8 "m01_c" ((v "r" *: i n) +: v "c"))
+                        ((v "s" +: v "rep") &: Ast.Int 0xFFFFL);
+                    ];
+                ];
+              (* row reduce with conditional pivot swap flavour *)
+              for_ "r" (i 1) (i n)
+                [
+                  set "p" (ld8 (Data.elt8 "m01_c" (v "r" *: i n)));
+                  if_ (v "p" &: i 1)
+                    [
+                      for_ "c" (i 0) (i n)
+                        [
+                          st8 (Data.elt8 "m01_c" ((v "r" *: i n) +: v "c"))
+                            (ld8 (Data.elt8 "m01_c" ((v "r" *: i n) +: v "c"))
+                            -: ld8 (Data.elt8 "m01_c" ((v "r" -: i 1) *: i n +: v "c")));
+                        ];
+                    ]
+                    [];
+                ];
+              set "acc" (v "acc" ^: ld8 (Data.elt8 "m01_c" (i ((n * n) - 1))));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* pntrch: pointer chase through a linked record structure with
+   data-dependent exits (serial, like routelookup). *)
+let pntrch =
+  let nodes = 512 and searches = 400 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "pn_next" nodes (fun k -> Int64.of_int ((k * 193 + 71) mod nodes));
+        Data.ints "pn_val" ~lo:0 ~hi:4095 nodes;
+        Data.ints "pn_key" ~lo:0 ~hi:4095 searches;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "found" (i 0);
+          set "steps" (i 0);
+          for_ "s" (i 0) (i searches)
+            [
+              set "key" (ld8 (Data.elt8 "pn_key" (v "s")));
+              set "p" (v "s" %: i nodes);
+              set "hop" (i 0);
+              set "stop" (i 0);
+              while_ ((v "hop" <: i 24) &: (v "stop" =: i 0))
+                [
+                  if_ (ld8 (Data.elt8 "pn_val" (v "p")) =: v "key")
+                    [ set "found" (v "found" +: i 1); set "stop" (i 1) ]
+                    [
+                      set "p" (ld8 (Data.elt8 "pn_next" (v "p")));
+                      set "hop" (v "hop" +: i 1);
+                    ];
+                ];
+              set "steps" (v "steps" +: v "hop");
+            ];
+          ret ((v "found" <<: i 20) ^: v "steps");
+        ];
+    ]
+
+(* puwmod: pulse-width modulation — counter/compare state machine with
+   mode switching. *)
+let puwmod =
+  let n = 8192 in
+  Ast.program
+    ~globals:[ Data.ints "puw_duty" ~lo:1 ~hi:99 64 ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "counter" (i 0);
+          set "out" (i 0);
+          set "edges" (i 0);
+          set "level" (i 0);
+          for_ "t" (i 0) (i n)
+            [
+              set "duty" (ld8 (Data.elt8 "puw_duty" ((v "t" >>: i 7) &: i 63)));
+              set "counter" (v "counter" +: i 1);
+              if_ (v "counter" >=: i 100) [ set "counter" (i 0) ] [];
+              set "new" (Ast.Bin (Ast.Lt, v "counter", v "duty"));
+              if_ (v "new" <>: v "level")
+                [ set "edges" (v "edges" +: i 1); set "level" (v "new") ]
+                [];
+              set "out" (v "out" +: v "level");
+            ];
+          ret ((v "edges" <<: i 20) ^: v "out");
+        ];
+    ]
+
+(* rspeed: road-speed calculation — a sequential conditional state machine
+   (the paper notes its lack of exploitable parallelism). *)
+let rspeed =
+  let n = 4096 in
+  Ast.program
+    ~globals:[ Data.ints "rs_ticks" ~lo:10 ~hi:500 n ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "speed" (i 0);
+          set "filt" (i 0);
+          set "gear" (i 1);
+          set "acc" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "t" (ld8 (Data.elt8 "rs_ticks" (v "k")));
+              set "speed" (i 360000 /: v "t");
+              (* exponential smoothing in integers *)
+              set "filt" (((v "filt" *: i 7) +: v "speed") >>: i 3);
+              if_ (v "filt" >: i 9000)
+                [ if_ (v "gear" <: i 6) [ set "gear" (v "gear" +: i 1) ] [] ]
+                [
+                  if_ (v "filt" <: i 3000)
+                    [ if_ (v "gear" >: i 1) [ set "gear" (v "gear" -: i 1) ] [] ]
+                    [];
+                ];
+              set "acc" (v "acc" +: (v "filt" *: v "gear"));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* tblook: table lookup with linear interpolation between breakpoints. *)
+let tblook =
+  let n = 4096 and tbl = 64 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "tb_x" ~lo:0 ~hi:6300 n;
+        Data.ints_f "tb_brk" tbl (fun k -> Int64.of_int (k * 100));
+        Data.ints_f "tb_val" tbl (fun k -> Int64.of_int ((k * k * 3) mod 10000));
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "x" (ld8 (Data.elt8 "tb_x" (v "k")));
+              set "idx" (v "x" /: i 100);
+              if_ (v "idx" >=: i (tbl - 1)) [ set "idx" (i (tbl - 2)) ] [];
+              set "x0" (ld8 (Data.elt8 "tb_brk" (v "idx")));
+              set "y0" (ld8 (Data.elt8 "tb_val" (v "idx")));
+              set "y1" (ld8 (Data.elt8 "tb_val" (v "idx" +: i 1)));
+              set "y" (v "y0" +: (((v "y1" -: v "y0") *: (v "x" -: v "x0")) /: i 100));
+              set "acc" (v "acc" +: v "y");
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* ttsprk: tooth-to-spark — combines angle decoding and table-driven
+   advance with mode branches. *)
+let ttsprk =
+  let n = 3072 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "tt_angle" ~lo:0 ~hi:719 n;
+        Data.ints_f "tt_adv" 72 (fun k -> Int64.of_int ((k * 7) mod 60));
+        Data.ints "tt_load" ~lo:0 ~hi:99 n;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "sparks" (i 0);
+          set "acc" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "ang" (ld8 (Data.elt8 "tt_angle" (v "k")));
+              set "load" (ld8 (Data.elt8 "tt_load" (v "k")));
+              set "adv" (ld8 (Data.elt8 "tt_adv" (v "ang" /: i 10)));
+              if_ (v "load" >: i 80)
+                [ set "adv" (v "adv" -: (v "load" >>: i 4)) ]
+                [ if_ (v "load" <: i 20) [ set "adv" (v "adv" +: i 2) ] [] ];
+              set "fire" ((v "ang" +: v "adv") %: i 720);
+              if_ (v "fire" <: i 90) [ set "sparks" (v "sparks" +: i 1) ] [];
+              set "acc" (v "acc" +: v "fire");
+            ];
+          ret ((v "sparks" <<: i 24) ^: v "acc");
+        ];
+    ]

@@ -1,0 +1,18 @@
+(** EEMBC automotive/industrial proxy benchmarks (14 of the 30-benchmark
+    suite in Table 2).  Each reproduces the original's dominant loop,
+    control and memory idiom; see DESIGN.md for the substitution rationale. *)
+
+val a2time : Trips_tir.Ast.program
+val aifftr : Trips_tir.Ast.program
+val aifirf : Trips_tir.Ast.program
+val basefp : Trips_tir.Ast.program
+val bitmnp : Trips_tir.Ast.program
+val canrdr : Trips_tir.Ast.program
+val idctrn : Trips_tir.Ast.program
+val iirflt : Trips_tir.Ast.program
+val matrix01 : Trips_tir.Ast.program
+val pntrch : Trips_tir.Ast.program
+val puwmod : Trips_tir.Ast.program
+val rspeed : Trips_tir.Ast.program
+val tblook : Trips_tir.Ast.program
+val ttsprk : Trips_tir.Ast.program

@@ -1,0 +1,219 @@
+(* EEMBC telecom proxy benchmarks: autocorrelation, convolutional encoding,
+   bit allocation, FFT and Viterbi decoding. *)
+
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+open Ast.Infix
+
+(* autocor: fixed-point autocorrelation over a speech-like buffer. *)
+let autocor =
+  let n = 1024 and lags = 32 in
+  Ast.program
+    ~globals:[ Data.ints "ac_in" ~lo:(-512) ~hi:511 n ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "lag" (i 0) (i lags)
+            [
+              set "r" (i 0);
+              for_ "k" (i 0) (i n -: v "lag")
+                [
+                  set "r"
+                    (v "r"
+                    +: (ld8 (Data.elt8 "ac_in" (v "k"))
+                       *: ld8 (Data.elt8 "ac_in" (v "k" +: v "lag"))));
+                ];
+              set "acc" (v "acc" ^: (v "r" <<: (v "lag" &: i 7)));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* conven: k=5 rate-1/2 convolutional encoder over a bit stream (branch-free
+   inner parity computation, very regular). *)
+let conven =
+  let nbits = 16384 in
+  Ast.program
+    ~globals:[ Data.bytes_ "cv_in" (nbits / 8) ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "state" (i 0);
+          set "acc" (i 0);
+          for_ "k" (i 0) (i nbits)
+            [
+              set "bit"
+                ((ld1 (Data.elt1 "cv_in" (v "k" >>: i 3)) >>: (v "k" &: i 7)) &: i 1);
+              set "state" (((v "state" <<: i 1) |: v "bit") &: i 31);
+              set "g0" (v "state" &: i 0o27);
+              set "g0" (v "g0" ^: (v "g0" >>: i 2));
+              set "g0" ((v "g0" ^: (v "g0" >>: i 1)) &: i 1);
+              set "g1" (v "state" &: i 0o31);
+              set "g1" (v "g1" ^: (v "g1" >>: i 2));
+              set "g1" ((v "g1" ^: (v "g1" >>: i 1)) &: i 1);
+              set "acc" (v "acc" +: ((v "g0" <<: i 1) |: v "g1"));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* fbital: water-filling bit allocation across DSL subchannels — repeated
+   argmax selection with conditional updates. *)
+let fbital =
+  let ch = 128 and budget = 700 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "fb_snr" ~lo:1 ~hi:4095 ch;
+        Data.zeros "fb_bits" ch;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          (* copy SNR into a working margin array (reuse fb_bits as alloc) *)
+          set "allocated" (i 0);
+          while_ (v "allocated" <: i budget)
+            [
+              (* find the channel with the best marginal gain *)
+              set "best" (i 0);
+              set "bestgain" (i (-1));
+              for_ "c" (i 0) (i ch)
+                [
+                  set "b" (ld8 (Data.elt8 "fb_bits" (v "c")));
+                  set "gain" (ld8 (Data.elt8 "fb_snr" (v "c")) >>: v "b");
+                  if_ (v "gain" >: v "bestgain")
+                    [ set "bestgain" (v "gain"); set "best" (v "c") ]
+                    [];
+                ];
+              st8 (Data.elt8 "fb_bits" (v "best"))
+                (ld8 (Data.elt8 "fb_bits" (v "best")) +: i 1);
+              set "allocated" (v "allocated" +: i 1);
+            ];
+          set "acc" (i 0);
+          for_ "c" (i 0) (i ch)
+            [ set "acc" (v "acc" +: (ld8 (Data.elt8 "fb_bits" (v "c")) *: (v "c" +: i 1))) ];
+          ret (v "acc");
+        ];
+    ]
+
+(* fft: radix-2 floating-point FFT, 256 points. *)
+let fft =
+  let n = 256 in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "fft_re" ~scale:2.0 n;
+        Data.floats "fft_im" ~scale:2.0 n;
+        Data.floats_f "fft_cos" (n / 2) (fun k ->
+            cos (2. *. Float.pi *. float_of_int k /. float_of_int n));
+        Data.floats_f "fft_sin" (n / 2) (fun k ->
+            sin (2. *. Float.pi *. float_of_int k /. float_of_int n));
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "len" (i 2);
+          while_ (v "len" <=: i n)
+            [
+              set "half" (v "len" >>: i 1);
+              set "step" (i n /: v "len");
+              for_ "blk" (i 0) (i n /: v "len")
+                [
+                  for_ "j" (i 0) (v "half")
+                    [
+                      set "p" ((v "blk" *: v "len") +: v "j");
+                      set "q" (v "p" +: v "half");
+                      set "wr" (ldf (Data.elt8 "fft_cos" (v "j" *: v "step")));
+                      set "wi" (ldf (Data.elt8 "fft_sin" (v "j" *: v "step")));
+                      set "qr" (ldf (Data.elt8 "fft_re" (v "q")));
+                      set "qi" (ldf (Data.elt8 "fft_im" (v "q")));
+                      set "tr" ((v "wr" *.: v "qr") -.: (v "wi" *.: v "qi"));
+                      set "ti" ((v "wr" *.: v "qi") +.: (v "wi" *.: v "qr"));
+                      set "pr" (ldf (Data.elt8 "fft_re" (v "p")));
+                      set "pi" (ldf (Data.elt8 "fft_im" (v "p")));
+                      stf (Data.elt8 "fft_re" (v "p")) (v "pr" +.: v "tr");
+                      stf (Data.elt8 "fft_im" (v "p")) (v "pi" +.: v "ti");
+                      stf (Data.elt8 "fft_re" (v "q")) (v "pr" -.: v "tr");
+                      stf (Data.elt8 "fft_im" (v "q")) (v "pi" -.: v "ti");
+                    ];
+                ];
+              set "len" (v "len" <<: i 1);
+            ];
+          set "s" (f 0.0);
+          for_ "k" (i 0) (i n)
+            [
+              set "s"
+                (v "s"
+                +.: ((ldf (Data.elt8 "fft_re" (v "k")) *.: ldf (Data.elt8 "fft_re" (v "k")))
+                    +.: (ldf (Data.elt8 "fft_im" (v "k")) *.: ldf (Data.elt8 "fft_im" (v "k")))));
+            ];
+          ret (v "s");
+        ];
+    ]
+
+(* viterb: Viterbi decoder for the conven code — add-compare-select over a
+   16-state trellis (integer path metrics, data-dependent selects). *)
+let viterb =
+  let nsym = 1024 and states = 16 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "vt_sym" ~lo:0 ~hi:3 nsym;
+        Data.zeros "vt_pm" states;
+        Data.zeros "vt_npm" states;
+      ]
+    [
+      (* expected 2-bit output for a transition from state s on input bit b *)
+      Ast.func "branch_out" ~params:[ ("s", Ty.I64); ("b", Ty.I64) ] ~ret:Ty.I64
+        [
+          set "st" ((((v "s" <<: i 1) |: v "b") &: i 31));
+          set "g0" (v "st" &: i 0o27);
+          set "g0" (v "g0" ^: (v "g0" >>: i 2));
+          set "g0" ((v "g0" ^: (v "g0" >>: i 1)) &: i 1);
+          set "g1" (v "st" &: i 0o31);
+          set "g1" (v "g1" ^: (v "g1" >>: i 2));
+          set "g1" ((v "g1" ^: (v "g1" >>: i 1)) &: i 1);
+          ret ((v "g0" <<: i 1) |: v "g1");
+        ];
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "decisions" (i 0);
+          for_ "t" (i 0) (i nsym)
+            [
+              set "sym" (ld8 (Data.elt8 "vt_sym" (v "t")));
+              for_ "ns" (i 0) (i states)
+                [
+                  (* predecessors of ns: (ns>>1) and (ns>>1)|8; input bit is
+                     the low bit of ns *)
+                  set "b" (v "ns" &: i 1);
+                  set "p0" (v "ns" >>: i 1);
+                  set "p1" (v "p0" |: i 8);
+                  set "e0" (call "branch_out" [ v "p0"; v "b" ]);
+                  set "e1" (call "branch_out" [ v "p1"; v "b" ]);
+                  set "c0" ((v "e0" ^: v "sym") &: i 1);
+                  set "c0" (v "c0" +: ((v "e0" ^: v "sym") >>: i 1));
+                  set "c1" ((v "e1" ^: v "sym") &: i 1);
+                  set "c1" (v "c1" +: ((v "e1" ^: v "sym") >>: i 1));
+                  set "m0" (ld8 (Data.elt8 "vt_pm" (v "p0")) +: v "c0");
+                  set "m1" (ld8 (Data.elt8 "vt_pm" (v "p1")) +: v "c1");
+                  if_ (v "m0" <=: v "m1")
+                    [ st8 (Data.elt8 "vt_npm" (v "ns")) (v "m0") ]
+                    [
+                      st8 (Data.elt8 "vt_npm" (v "ns")) (v "m1");
+                      set "decisions" (v "decisions" +: i 1);
+                    ];
+                ];
+              for_ "s" (i 0) (i states)
+                [ st8 (Data.elt8 "vt_pm" (v "s")) (ld8 (Data.elt8 "vt_npm" (v "s"))) ];
+            ];
+          set "best" (ld8 (Data.elt8 "vt_pm" (i 0)));
+          for_ "s" (i 1) (i states)
+            [
+              if_ (ld8 (Data.elt8 "vt_pm" (v "s")) <: v "best")
+                [ set "best" (ld8 (Data.elt8 "vt_pm" (v "s"))) ]
+                [];
+            ];
+          ret ((v "decisions" <<: i 16) ^: v "best");
+        ];
+    ]

@@ -1,0 +1,7 @@
+(** EEMBC telecom proxy benchmarks (5 of the 30 in Table 2). *)
+
+val autocor : Trips_tir.Ast.program
+val conven : Trips_tir.Ast.program
+val fbital : Trips_tir.Ast.program
+val fft : Trips_tir.Ast.program
+val viterb : Trips_tir.Ast.program

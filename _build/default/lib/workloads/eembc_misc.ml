@@ -1,0 +1,482 @@
+(* EEMBC consumer, networking and office proxy benchmarks. *)
+
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+open Ast.Infix
+
+(* ------------------------------------------------------------------ *)
+(* Consumer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* cjpeg: forward 8x8 DCT + zig-zag quantization over image blocks. *)
+let cjpeg =
+  let blocks = 40 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "cj_img" ~lo:0 ~hi:255 (blocks * 64);
+        Data.ints_f "cj_cos" 64 (fun k ->
+            let u = k / 8 and x = k mod 8 in
+            Int64.of_float
+              (256. *. cos (Float.pi *. float_of_int u *. ((2. *. float_of_int x) +. 1.) /. 16.)));
+        Data.ints_f "cj_quant" 64 (fun k -> Int64.of_int (8 + (k * 2)));
+        Data.zeros "cj_tmp" 64;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "blk" (i 0) (i blocks)
+            [
+              set "base" (v "blk" *: i 64);
+              for_ "u" (i 0) (i 8)
+                [
+                  for_ "x" (i 0) (i 8)
+                    [
+                      set "s" (i 0);
+                      for_ "k" (i 0) (i 8)
+                        [
+                          set "s"
+                            (v "s"
+                            +: ((ld8 (Data.elt8 "cj_img" (v "base" +: (v "u" *: i 8) +: v "k")) -: i 128)
+                               *: ld8 (Data.elt8 "cj_cos" ((v "x" *: i 8) +: v "k"))));
+                        ];
+                      st8 (Data.elt8 "cj_tmp" ((v "u" *: i 8) +: v "x")) (v "s" >>>: i 8);
+                    ];
+                ];
+              (* quantize and accumulate magnitude of nonzero coefficients *)
+              for_ "k" (i 0) (i 64)
+                [
+                  set "q"
+                    (ld8 (Data.elt8 "cj_tmp" (v "k")) /: ld8 (Data.elt8 "cj_quant" (v "k")));
+                  if_ (v "q" <>: i 0) [ set "acc" (v "acc" +: v "q" +: i 1) ] [];
+                ];
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* djpeg: dequantize + coarse inverse transform + clamp (saturating
+   arithmetic branches). *)
+let djpeg =
+  let blocks = 40 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "dj_coef" ~lo:(-40) ~hi:40 (blocks * 64);
+        Data.ints_f "dj_quant" 64 (fun k -> Int64.of_int (8 + (k * 2)));
+        Data.ints_f "dj_cos" 64 (fun k ->
+            let u = k / 8 and x = k mod 8 in
+            Int64.of_float
+              (256. *. cos (Float.pi *. float_of_int u *. ((2. *. float_of_int x) +. 1.) /. 16.)));
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "blk" (i 0) (i blocks)
+            [
+              set "base" (v "blk" *: i 64);
+              for_ "x" (i 0) (i 8)
+                [
+                  for_ "y" (i 0) (i 8)
+                    [
+                      set "s" (i 0);
+                      for_ "u" (i 0) (i 8)
+                        [
+                          set "s"
+                            (v "s"
+                            +: (ld8 (Data.elt8 "dj_coef" (v "base" +: (v "u" *: i 8) +: v "x"))
+                               *: ld8 (Data.elt8 "dj_quant" (v "u"))
+                               *: ld8 (Data.elt8 "dj_cos" ((v "u" *: i 8) +: v "y"))));
+                        ];
+                      set "p" ((v "s" >>>: i 12) +: i 128);
+                      if_ (v "p" <: i 0) [ set "p" (i 0) ] [];
+                      if_ (v "p" >: i 255) [ set "p" (i 255) ] [];
+                      set "acc" (v "acc" +: v "p");
+                    ];
+                ];
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* rgbcmy: RGB -> CMYK conversion with per-pixel min extraction. *)
+let rgbcmy =
+  let pixels = 8192 in
+  Ast.program
+    ~globals:[ Data.bytes_ "cmy_img" (pixels * 3) ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "p" (i 0) (i pixels)
+            [
+              set "r" (i 255 -: ld1 (Data.elt1 "cmy_img" (v "p" *: i 3)));
+              set "g" (i 255 -: ld1 (Data.elt1 "cmy_img" ((v "p" *: i 3) +: i 1)));
+              set "b" (i 255 -: ld1 (Data.elt1 "cmy_img" ((v "p" *: i 3) +: i 2)));
+              set "k" (v "r");
+              if_ (v "g" <: v "k") [ set "k" (v "g") ] [];
+              if_ (v "b" <: v "k") [ set "k" (v "b") ] [];
+              set "acc"
+                (v "acc" +: (v "r" -: v "k") +: (v "g" -: v "k") +: (v "b" -: v "k")
+               +: (v "k" <<: i 1));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* rgbyiq: RGB -> YIQ colourspace (fixed-point 3x3 matrix per pixel). *)
+let rgbyiq =
+  let pixels = 8192 in
+  Ast.program
+    ~globals:[ Data.bytes_ "yiq_img" (pixels * 3) ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "p" (i 0) (i pixels)
+            [
+              set "r" (ld1 (Data.elt1 "yiq_img" (v "p" *: i 3)));
+              set "g" (ld1 (Data.elt1 "yiq_img" ((v "p" *: i 3) +: i 1)));
+              set "b" (ld1 (Data.elt1 "yiq_img" ((v "p" *: i 3) +: i 2)));
+              set "y" (((i 299 *: v "r") +: (i 587 *: v "g") +: (i 114 *: v "b")) /: i 1000);
+              set "iq" (((i 596 *: v "r") -: (i 274 *: v "g") -: (i 322 *: v "b")) /: i 1000);
+              set "q" (((i 211 *: v "r") -: (i 523 *: v "g") +: (i 312 *: v "b")) /: i 1000);
+              set "acc" (v "acc" +: v "y" +: (v "iq" ^: v "q"));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Networking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* ospf: Dijkstra shortest paths over a synthetic router graph in
+   adjacency-matrix form (the argmin scan dominates). *)
+let ospf =
+  let nodes = 48 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "os_cost" (nodes * nodes) (fun k ->
+            let r = k / nodes and c = k mod nodes in
+            if r = c then 0L
+            else if (r + c) mod 7 < 2 then Int64.of_int (1 + ((r * 13) + (c * 7)) mod 30)
+            else 100000L);
+        Data.zeros "os_dist" nodes;
+        Data.zeros "os_done" nodes;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          (* run from several sources *)
+          for_ "src" (i 0) (i 8)
+            [
+              for_ "k" (i 0) (i nodes)
+                [
+                  st8 (Data.elt8 "os_dist" (v "k")) (i 1000000);
+                  st8 (Data.elt8 "os_done" (v "k")) (i 0);
+                ];
+              st8 (Data.elt8 "os_dist" (v "src" *: i 5)) (i 0);
+              for_ "round" (i 0) (i nodes)
+                [
+                  set "best" (i (-1));
+                  set "bestd" (i 999999);
+                  for_ "k" (i 0) (i nodes)
+                    [
+                      if_
+                        ((ld8 (Data.elt8 "os_done" (v "k")) =: i 0)
+                        &: (ld8 (Data.elt8 "os_dist" (v "k")) <: v "bestd"))
+                        [
+                          set "best" (v "k");
+                          set "bestd" (ld8 (Data.elt8 "os_dist" (v "k")));
+                        ]
+                        [];
+                    ];
+                  if_ (v "best" >=: i 0)
+                    [
+                      st8 (Data.elt8 "os_done" (v "best")) (i 1);
+                      for_ "k" (i 0) (i nodes)
+                        [
+                          set "nd"
+                            (v "bestd"
+                            +: ld8 (Data.elt8 "os_cost" ((v "best" *: i nodes) +: v "k")));
+                          if_ (v "nd" <: ld8 (Data.elt8 "os_dist" (v "k")))
+                            [ st8 (Data.elt8 "os_dist" (v "k")) (v "nd") ]
+                            [];
+                        ];
+                    ]
+                    [];
+                ];
+              for_ "k" (i 0) (i nodes)
+                [ set "acc" (v "acc" +: ld8 (Data.elt8 "os_dist" (v "k"))) ];
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* pktflow: packet header validation and flow counting. *)
+let pktflow =
+  let pkts = 4096 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "pk_src" ~lo:0 ~hi:255 pkts;
+        Data.ints "pk_dst" ~lo:0 ~hi:255 pkts;
+        Data.ints "pk_len" ~lo:20 ~hi:1500 pkts;
+        Data.ints "pk_ttl" ~lo:0 ~hi:64 pkts;
+        Data.zeros "pk_flows" 256;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "fwd" (i 0);
+          set "drop" (i 0);
+          set "bytes" (i 0);
+          for_ "k" (i 0) (i pkts)
+            [
+              set "ttl" (ld8 (Data.elt8 "pk_ttl" (v "k")));
+              if_ (v "ttl" <=: i 1)
+                [ set "drop" (v "drop" +: i 1) ]
+                [
+                  set "flow"
+                    ((ld8 (Data.elt8 "pk_src" (v "k")) ^: ld8 (Data.elt8 "pk_dst" (v "k")))
+                    &: i 255);
+                  st8 (Data.elt8 "pk_flows" (v "flow"))
+                    (ld8 (Data.elt8 "pk_flows" (v "flow")) +: i 1);
+                  set "fwd" (v "fwd" +: i 1);
+                  set "bytes" (v "bytes" +: ld8 (Data.elt8 "pk_len" (v "k")));
+                ];
+            ];
+          set "hot" (i 0);
+          for_ "k" (i 0) (i 256)
+            [
+              if_ (ld8 (Data.elt8 "pk_flows" (v "k")) >: i 20)
+                [ set "hot" (v "hot" +: i 1) ]
+                [];
+            ];
+          ret ((v "fwd" <<: i 32) ^: (v "drop" <<: i 20) ^: (v "hot" <<: i 12)
+              ^: (v "bytes" &: i 4095));
+        ];
+    ]
+
+(* routelookup: binary-trie (Patricia) longest-prefix match — the serial
+   tree walk the paper cites as intrinsically sequential (§5.3). *)
+let routelookup =
+  let tnodes = 1024 and lookups = 2048 in
+  Ast.program
+    ~globals:
+      [
+        (* node: left child, right child, prefix flag *)
+        Data.ints_f "rt_left" tnodes (fun k ->
+            if 2 * k + 1 < tnodes then Int64.of_int (2 * k + 1) else 0L);
+        Data.ints_f "rt_right" tnodes (fun k ->
+            if 2 * k + 2 < tnodes then Int64.of_int (2 * k + 2) else 0L);
+        Data.ints_f "rt_pref" tnodes (fun k -> if k mod 3 = 0 then Int64.of_int k else 0L);
+        Data.ints "rt_addr" ~lo:0 ~hi:0xFFFFFF lookups;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "q" (i 0) (i lookups)
+            [
+              set "addr" (ld8 (Data.elt8 "rt_addr" (v "q")));
+              set "node" (i 0);
+              set "lastpref" (i 0);
+              set "depth" (i 0);
+              set "stop" (i 0);
+              while_ ((v "depth" <: i 10) &: (v "stop" =: i 0))
+                [
+                  set "p" (ld8 (Data.elt8 "rt_pref" (v "node")));
+                  if_ (v "p" <>: i 0) [ set "lastpref" (v "p") ] [];
+                  set "bit" ((v "addr" >>: (i 23 -: v "depth")) &: i 1);
+                  if_ (v "bit" =: i 1)
+                    [ set "next" (ld8 (Data.elt8 "rt_right" (v "node"))) ]
+                    [ set "next" (ld8 (Data.elt8 "rt_left" (v "node"))) ];
+                  if_ (v "next" =: i 0)
+                    [ set "stop" (i 1) ]
+                    [ set "node" (v "next"); set "depth" (v "depth" +: i 1) ];
+                ];
+              set "acc" (v "acc" +: v "lastpref");
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Office automation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* bezier: cubic Bézier evaluation at many parameter values. *)
+let bezier =
+  let curves = 64 and steps = 64 in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "bz_x" ~scale:100.0 (curves * 4);
+        Data.floats "bz_y" ~scale:100.0 (curves * 4);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "len" (f 0.0);
+          for_ "c" (i 0) (i curves)
+            [
+              set "px" (ldf (Data.elt8 "bz_x" (v "c" *: i 4)));
+              set "py" (ldf (Data.elt8 "bz_y" (v "c" *: i 4)));
+              for_ "s" (i 1) (i (steps + 1))
+                [
+                  set "t" (Ast.Un (Ast.Itof, v "s") /.: f (float_of_int steps));
+                  set "u" (f 1.0 -.: v "t");
+                  set "b0" (v "u" *.: v "u" *.: v "u");
+                  set "b1" (f 3.0 *.: v "u" *.: v "u" *.: v "t");
+                  set "b2" (f 3.0 *.: v "u" *.: v "t" *.: v "t");
+                  set "b3" (v "t" *.: v "t" *.: v "t");
+                  set "x"
+                    ((v "b0" *.: ldf (Data.elt8 "bz_x" (v "c" *: i 4)))
+                    +.: (v "b1" *.: ldf (Data.elt8 "bz_x" ((v "c" *: i 4) +: i 1)))
+                    +.: (v "b2" *.: ldf (Data.elt8 "bz_x" ((v "c" *: i 4) +: i 2)))
+                    +.: (v "b3" *.: ldf (Data.elt8 "bz_x" ((v "c" *: i 4) +: i 3))));
+                  set "y"
+                    ((v "b0" *.: ldf (Data.elt8 "bz_y" (v "c" *: i 4)))
+                    +.: (v "b1" *.: ldf (Data.elt8 "bz_y" ((v "c" *: i 4) +: i 1)))
+                    +.: (v "b2" *.: ldf (Data.elt8 "bz_y" ((v "c" *: i 4) +: i 2)))
+                    +.: (v "b3" *.: ldf (Data.elt8 "bz_y" ((v "c" *: i 4) +: i 3))));
+                  set "dx" (v "x" -.: v "px");
+                  set "dy" (v "y" -.: v "py");
+                  set "len" (v "len" +.: ((v "dx" *.: v "dx") +.: (v "dy" *.: v "dy")));
+                  set "px" (v "x");
+                  set "py" (v "y");
+                ];
+            ];
+          ret (v "len");
+        ];
+    ]
+
+(* dither: Floyd–Steinberg error diffusion over a greyscale image. *)
+let dither =
+  let w = 128 and h = 64 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "dt_img" ~lo:0 ~hi:255 (w * h);
+        Data.zeros "dt_err" (w + 2);
+        Data.zeros "dt_nerr" (w + 2);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "black" (i 0);
+          for_ "y" (i 0) (i h)
+            [
+              set "carry" (i 0);
+              for_ "x" (i 0) (i w)
+                [
+                  set "px"
+                    (ld8 (Data.elt8 "dt_img" ((v "y" *: i w) +: v "x"))
+                    +: ld8 (Data.elt8 "dt_err" (v "x" +: i 1))
+                    +: v "carry");
+                  if_ (v "px" >: i 127)
+                    [ set "q" (i 255); set "e" (v "px" -: i 255) ]
+                    [ set "q" (i 0); set "e" (v "px"); set "black" (v "black" +: i 1) ];
+                  (* diffuse: 7/16 right (carry), 3/16 below-left, 5/16 below,
+                     1/16 below-right *)
+                  set "carry" ((v "e" *: i 7) /: i 16);
+                  st8 (Data.elt8 "dt_nerr" (v "x"))
+                    (ld8 (Data.elt8 "dt_nerr" (v "x")) +: ((v "e" *: i 3) /: i 16));
+                  st8 (Data.elt8 "dt_nerr" (v "x" +: i 1))
+                    (ld8 (Data.elt8 "dt_nerr" (v "x" +: i 1)) +: ((v "e" *: i 5) /: i 16));
+                  st8 (Data.elt8 "dt_nerr" (v "x" +: i 2))
+                    (ld8 (Data.elt8 "dt_nerr" (v "x" +: i 2)) +: (v "e" /: i 16));
+                ];
+              for_ "x" (i 0) (i (w + 2))
+                [
+                  st8 (Data.elt8 "dt_err" (v "x")) (ld8 (Data.elt8 "dt_nerr" (v "x")));
+                  st8 (Data.elt8 "dt_nerr" (v "x")) (i 0);
+                ];
+            ];
+          ret (v "black");
+        ];
+    ]
+
+(* rotate: 90-degree rotation of a 1-bit-per-pixel bitmap, word at a time. *)
+let rotate =
+  let dim = 128 in
+  (* dim x dim bits stored row-major as bytes *)
+  Ast.program
+    ~globals:
+      [ Data.bytes_ "ro_src" (dim * dim / 8); Ast.global "ro_dst" (dim * dim / 8) ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          for_ "y" (i 0) (i dim)
+            [
+              for_ "x" (i 0) (i dim)
+                [
+                  set "bit"
+                    ((ld1 (Data.elt1 "ro_src" (((v "y" *: i dim) +: v "x") >>: i 3))
+                     >>: (v "x" &: i 7))
+                    &: i 1);
+                  if_ (v "bit" =: i 1)
+                    [
+                      set "nx" (i (dim - 1) -: v "y");
+                      set "pos" ((v "x" *: i dim) +: v "nx");
+                      st1 (Data.elt1 "ro_dst" (v "pos" >>: i 3))
+                        (ld1 (Data.elt1 "ro_dst" (v "pos" >>: i 3))
+                        |: (i 1 <<: (v "nx" &: i 7)));
+                    ]
+                    [];
+                ];
+            ];
+          set "acc" (i 0);
+          for_ "k" (i 0) (i (dim * dim / 8))
+            [ set "acc" (v "acc" +: (ld1 (Data.elt1 "ro_dst" (v "k")) *: (v "k" &: i 15))) ];
+          ret (v "acc");
+        ];
+    ]
+
+(* text: text parsing state machine — word/line/sentence counting with
+   character-class branches. *)
+let text =
+  let n = 16384 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "tx_in" n (fun k ->
+            (* synthetic text: letters, spaces, punctuation, newlines *)
+            let r = (k * 1103515245 + 12345) land 0xFFFF in
+            if r mod 100 < 15 then 32L       (* space *)
+            else if r mod 100 < 17 then 10L  (* newline *)
+            else if r mod 100 < 20 then 46L  (* period *)
+            else Int64.of_int (97 + (r mod 26)));
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "words" (i 0);
+          set "lines" (i 0);
+          set "sents" (i 0);
+          set "inword" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              set "c" (ld8 (Data.elt8 "tx_in" (v "k")));
+              if_ ((v "c" >=: i 97) &: (v "c" <=: i 122))
+                [
+                  if_ (v "inword" =: i 0)
+                    [ set "inword" (i 1); set "words" (v "words" +: i 1) ]
+                    [];
+                ]
+                [
+                  set "inword" (i 0);
+                  if_ (v "c" =: i 10)
+                    [ set "lines" (v "lines" +: i 1) ]
+                    [ if_ (v "c" =: i 46) [ set "sents" (v "sents" +: i 1) ] [] ];
+                ];
+            ];
+          ret ((v "words" <<: i 28) ^: (v "lines" <<: i 14) ^: v "sents");
+        ];
+    ]

@@ -1,0 +1,14 @@
+(** EEMBC consumer, networking and office proxy benchmarks (11 of the 30
+    in Table 2). *)
+
+val cjpeg : Trips_tir.Ast.program
+val djpeg : Trips_tir.Ast.program
+val rgbcmy : Trips_tir.Ast.program
+val rgbyiq : Trips_tir.Ast.program
+val ospf : Trips_tir.Ast.program
+val pktflow : Trips_tir.Ast.program
+val routelookup : Trips_tir.Ast.program
+val bezier : Trips_tir.Ast.program
+val dither : Trips_tir.Ast.program
+val rotate : Trips_tir.Ast.program
+val text : Trips_tir.Ast.program

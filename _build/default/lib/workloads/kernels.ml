@@ -1,0 +1,258 @@
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+module Isa = Trips_edge.Isa
+module Block = Trips_edge.Block
+module Builder = Trips_edge.Builder
+open Ast.Infix
+
+(* ------------------------------------------------------------------ *)
+(* ct: 64x64 integer matrix transpose                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ct =
+  let n = 64 in
+  Ast.program
+    ~globals:[ Data.ints "ct_in" (n * n); Data.zeros "ct_out" (n * n) ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          for_ "r" (i 0) (i n)
+            [
+              for_ "c" (i 0) (i n)
+                [
+                  st8
+                    (Data.elt8 "ct_out" ((v "c" *: i n) +: v "r"))
+                    (ld8 (Data.elt8 "ct_in" ((v "r" *: i n) +: v "c")));
+                ];
+            ];
+          (* checksum along the anti-diagonal band *)
+          set "acc" (i 0);
+          for_ "k" (i 0) (i (n * n))
+            [ set "acc" (v "acc" +: (ld8 (Data.elt8 "ct_out" (v "k")) *: (v "k" &: i 7))) ];
+          ret (v "acc");
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* conv: 1-D convolution, 480 outputs x 32 taps, doubles              *)
+(* ------------------------------------------------------------------ *)
+
+let conv =
+  let n = 512 and taps = 32 in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "conv_in" ~scale:2.0 n;
+        Data.floats "conv_coef" ~scale:0.25 taps;
+        Data.zeros "conv_out" (n - taps);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          for_ "o" (i 0) (i (n - taps))
+            [
+              set "acc" (f 0.0);
+              for_ "k" (i 0) (i taps)
+                [
+                  set "acc"
+                    (v "acc"
+                    +.: (ldf (Data.elt8 "conv_in" (v "o" +: v "k"))
+                        *.: ldf (Data.elt8 "conv_coef" (v "k"))));
+                ];
+              stf (Data.elt8 "conv_out" (v "o")) (v "acc");
+            ];
+          set "s" (f 0.0);
+          for_ "o" (i 0) (i (n - taps))
+            [ set "s" (v "s" +.: ldf (Data.elt8 "conv_out" (v "o"))) ];
+          ret (v "s");
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* vadd: vector add, 2048 doubles                                      *)
+(* ------------------------------------------------------------------ *)
+
+let vadd_elems = 2048
+
+let vadd =
+  let n = vadd_elems in
+  Ast.program
+    ~globals:
+      [ Data.floats "vadd_a" n; Data.floats "vadd_b" n; Data.zeros "vadd_c" n ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          for_ "k" (i 0) (i n)
+            [
+              stf (Data.elt8 "vadd_c" (v "k"))
+                (ldf (Data.elt8 "vadd_a" (v "k")) +.: ldf (Data.elt8 "vadd_b" (v "k")));
+            ];
+          set "s" (f 0.0);
+          for_step "k" (i 0) (i n) 7L
+            [ set "s" (v "s" +.: ldf (Data.elt8 "vadd_c" (v "k"))) ];
+          ret (v "s");
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* matrix: 32x32 dense matmul, doubles                                 *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_n = 32
+
+let matrix =
+  let n = matrix_n in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "mat_a" ~scale:1.0 (n * n);
+        Data.floats "mat_b" ~scale:1.0 (n * n);
+        Data.zeros "mat_c" (n * n);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          for_ "r" (i 0) (i n)
+            [
+              for_ "c" (i 0) (i n)
+                [
+                  set "acc" (f 0.0);
+                  for_ "k" (i 0) (i n)
+                    [
+                      set "acc"
+                        (v "acc"
+                        +.: (ldf (Data.elt8 "mat_a" ((v "r" *: i n) +: v "k"))
+                            *.: ldf (Data.elt8 "mat_b" ((v "k" *: i n) +: v "c"))));
+                    ];
+                  stf (Data.elt8 "mat_c" ((v "r" *: i n) +: v "c")) (v "acc");
+                ];
+            ];
+          set "s" (f 0.0);
+          for_ "k" (i 0) (i (n * n)) [ set "s" (v "s" +.: ldf (Data.elt8 "mat_c" (v "k"))) ];
+          ret (v "s");
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written EDGE vadd                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Registers: r10 = &a[i], r11 = &b[i], r12 = &c[i], r13 = remaining
+   count, r1 = checksum accumulator (float bits).  Each loop block streams
+   ten elements using immediate displacements off the three pointers —
+   eight x (2 loads + 1 fadd + 1 store) = 24 LSIDs, well balanced across the
+   four D-cache banks. *)
+let vadd_unroll = 8
+
+let vadd_hand_edge : Block.program =
+  let open Builder in
+  let layout = Trips_tir.Image.layout vadd.Ast.globals in
+  let addr name = Int64.of_int (List.assoc name layout) in
+  let entry =
+    let b = create "vaddh.entry" in
+    let pa = inst b (Isa.Geni (addr "vadd_a")) in
+    let pb = inst b (Isa.Geni (addr "vadd_b")) in
+    let pc = inst b (Isa.Geni (addr "vadd_c")) in
+    let cnt = inst b (Isa.Geni (Int64.of_int vadd_elems)) in
+    write b 10 [ pa ];
+    write b 11 [ pb ];
+    write b 12 [ pc ];
+    write b 13 [ cnt ];
+    let _ = inst b (Isa.Branch (Isa.Xjump "vaddh.loop")) in
+    finish b
+  in
+  let loop =
+    let b = create "vaddh.loop" in
+    let pa = read b 10 in
+    let pb = read b 11 in
+    let pc = read b 12 in
+    let cnt = read b 13 in
+    for k = 0 to vadd_unroll - 1 do
+      let off = Int64.of_int (k * 8) in
+      let la = inst b ~imm:off (Isa.Load (Ty.F64, Ty.W8, -1)) in
+      arc b pa la Isa.Op0;
+      let lb = inst b ~imm:off (Isa.Load (Ty.F64, Ty.W8, -1)) in
+      arc b pb lb Isa.Op0;
+      let sum = inst b (Isa.Bin Ast.Fadd) in
+      arc b la sum Isa.Op0;
+      arc b lb sum Isa.Op1;
+      let st = inst b ~imm:off (Isa.Store (Ty.W8, -1)) in
+      arc b pc st Isa.Op0;
+      arc b sum st Isa.Op1
+    done;
+    let step = Int64.of_int (vadd_unroll * 8) in
+    let pa' = inst b ~imm:step (Isa.Bin Ast.Add) in
+    arc b pa pa' Isa.Op0;
+    let pb' = inst b ~imm:step (Isa.Bin Ast.Add) in
+    arc b pb pb' Isa.Op0;
+    let pc' = inst b ~imm:step (Isa.Bin Ast.Add) in
+    arc b pc pc' Isa.Op0;
+    let cnt' = inst b ~imm:(Int64.of_int (-vadd_unroll)) (Isa.Bin Ast.Add) in
+    arc b cnt cnt' Isa.Op0;
+    write b 10 [ pa' ];
+    write b 11 [ pb' ];
+    write b 12 [ pc' ];
+    write b 13 [ cnt' ];
+    let t = inst b ~imm:0L (Isa.Bin Ast.Gt) in
+    arc b cnt' t Isa.Op0;
+    let _ = inst b ~pred:(t, true) (Isa.Branch (Isa.Xjump "vaddh.loop")) in
+    let _ = inst b ~pred:(t, false) (Isa.Branch (Isa.Xjump "vaddh.sum")) in
+    finish b
+  in
+  (* checksum pass: strided reads of c, matching the TIR version *)
+  let sum_entry =
+    let b = create "vaddh.sum" in
+    let pc = inst b (Isa.Geni (addr "vadd_c")) in
+    let zero = inst b (Isa.Genf 0.0) in
+    let idx = inst b (Isa.Geni 0L) in
+    write b 12 [ pc ];
+    write b 1 [ zero ];
+    write b 13 [ idx ];
+    let _ = inst b (Isa.Branch (Isa.Xjump "vaddh.sumloop")) in
+    finish b
+  in
+  let sum_loop =
+    let b = create "vaddh.sumloop" in
+    let pc = read b 12 in
+    let acc = read b 1 in
+    let idx = read b 13 in
+    let a8 = inst b ~imm:3L (Isa.Bin Ast.Shl) in
+    arc b idx a8 Isa.Op0;
+    let addr_c = inst b (Isa.Bin Ast.Add) in
+    arc b pc addr_c Isa.Op0;
+    arc b a8 addr_c Isa.Op1;
+    let ld = inst b (Isa.Load (Ty.F64, Ty.W8, -1)) in
+    arc b addr_c ld Isa.Op0;
+    let idx' = inst b ~imm:7L (Isa.Bin Ast.Add) in
+    arc b idx idx' Isa.Op0;
+    let t = inst b ~imm:(Int64.of_int vadd_elems) (Isa.Bin Ast.Lt) in
+    arc b idx' t Isa.Op0;
+    (* accumulate only while in range: the final (exiting) instance must
+       not add another element *)
+    let acc' = inst b (Isa.Bin Ast.Fadd) in
+    arc b acc acc' Isa.Op0;
+    arc b ld acc' Isa.Op1;
+    write b 1 [ acc' ];
+    write b 13 [ idx' ];
+    let _ = inst b ~pred:(t, true) (Isa.Branch (Isa.Xjump "vaddh.sumloop")) in
+    let _ = inst b ~pred:(t, false) (Isa.Branch Isa.Xret) in
+    finish b
+  in
+  let prog =
+    {
+      Block.globals = vadd.Ast.globals;
+      funcs =
+        [
+          {
+            Block.fname = "main";
+            entry = "vaddh.entry";
+            blocks = [ entry; loop; sum_entry; sum_loop ];
+          };
+        ];
+    }
+  in
+  (* the paper hand-placed vadd; we run the spatial scheduler over the
+     hand-written blocks for the same effect *)
+  List.iter (fun (f : Block.func) -> List.iter Trips_compiler.Schedule.place f.Block.blocks)
+    prog.Block.funcs;
+  prog

@@ -1,0 +1,111 @@
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+module Image = Trips_tir.Image
+module Interp = Trips_tir.Interp
+
+type suite = Kernel | Versa | Eembc | SpecInt | SpecFp
+
+type bench = {
+  name : string;
+  suite : suite;
+  program : Ast.program;
+  ret : Ty.t option;
+  simple : bool;
+  hand_edge : Trips_edge.Block.program option;
+  description : string;
+}
+
+let mk ?(simple = false) ?hand_edge name suite program description =
+  (* tree-height reduction is applied at the source so the reference
+     interpreter and every backend compute the identical association *)
+  let program = Trips_tir.Transform.reassociate_program program in
+  let main = Ast.find_func program "main" in
+  { name; suite; program; ret = main.Ast.ret; simple; hand_edge; description }
+
+let all =
+  [
+    (* kernels: all four are in the Simple suite *)
+    mk ~simple:true "ct" Kernel Kernels.ct "64x64 integer matrix transpose";
+    mk ~simple:true "conv" Kernel Kernels.conv "1-D convolution, 32 taps";
+    mk ~simple:true ~hand_edge:Kernels.vadd_hand_edge "vadd" Kernel Kernels.vadd
+      "streaming vector add, 2048 doubles";
+    mk ~simple:true "matrix" Kernel Kernels.matrix "32x32 dense matmul";
+    (* VersaBench *)
+    mk ~simple:true "fmradio" Versa Versabench.fmradio "FIR bank + discriminator";
+    mk ~simple:true "802.11a" Versa Versabench.w802_11a "convolutional encoder + interleaver";
+    mk ~simple:true "8b10b" Versa Versabench.b8b10b "8b/10b line encoder";
+    (* EEMBC: the paper's eight hand-optimized ones are Simple *)
+    mk ~simple:true "a2time" Eembc Eembc_auto.a2time "angle-to-time, nested conditionals";
+    mk ~simple:true "rspeed" Eembc Eembc_auto.rspeed "road speed state machine";
+    mk ~simple:true "ospf" Eembc Eembc_misc.ospf "Dijkstra shortest paths";
+    mk ~simple:true "routelookup" Eembc Eembc_misc.routelookup "Patricia trie walk";
+    mk ~simple:true "autocor" Eembc Eembc_dsp.autocor "fixed-point autocorrelation";
+    mk ~simple:true "conven" Eembc Eembc_dsp.conven "convolutional encoder";
+    mk ~simple:true "fbital" Eembc Eembc_dsp.fbital "water-filling bit allocation";
+    mk ~simple:true "fft" Eembc Eembc_dsp.fft "radix-2 256-point FFT";
+    mk "viterb" Eembc Eembc_dsp.viterb "Viterbi add-compare-select";
+    mk "aifftr" Eembc Eembc_auto.aifftr "fixed-point FFT";
+    mk "aifirf" Eembc Eembc_auto.aifirf "fixed-point FIR";
+    mk "basefp" Eembc Eembc_auto.basefp "FP fundamentals";
+    mk "bitmnp" Eembc Eembc_auto.bitmnp "bit manipulation";
+    mk "canrdr" Eembc Eembc_auto.canrdr "CAN message handling";
+    mk "idctrn" Eembc Eembc_auto.idctrn "8x8 integer IDCT";
+    mk "iirflt" Eembc Eembc_auto.iirflt "IIR biquad cascade";
+    mk "matrix01" Eembc Eembc_auto.matrix01 "small matrix arithmetic";
+    mk "pntrch" Eembc Eembc_auto.pntrch "pointer chase";
+    mk "puwmod" Eembc Eembc_auto.puwmod "pulse-width modulation";
+    mk "tblook" Eembc Eembc_auto.tblook "table lookup + interpolation";
+    mk "ttsprk" Eembc Eembc_auto.ttsprk "tooth-to-spark";
+    mk "cjpeg" Eembc Eembc_misc.cjpeg "forward DCT + quantize";
+    mk "djpeg" Eembc Eembc_misc.djpeg "dequantize + inverse DCT";
+    mk "rgbcmy" Eembc Eembc_misc.rgbcmy "RGB to CMYK";
+    mk "rgbyiq" Eembc Eembc_misc.rgbyiq "RGB to YIQ";
+    mk "pktflow" Eembc Eembc_misc.pktflow "packet validation";
+    mk "bezier" Eembc Eembc_misc.bezier "cubic Bezier evaluation";
+    mk "dither" Eembc Eembc_misc.dither "error-diffusion dither";
+    mk "rotate" Eembc Eembc_misc.rotate "bitmap rotation";
+    mk "text" Eembc Eembc_misc.text "text parsing state machine";
+    (* SPEC INT *)
+    mk "bzip2" SpecInt Specint.bzip2 "MTF + RLE compression";
+    mk "crafty" SpecInt Specint.crafty "bitboard move generation";
+    mk "gcc" SpecInt Specint.gcc "value numbering over a tuple stream";
+    mk "gzip" SpecInt Specint.gzip "LZ77 hash-chain matching";
+    mk "mcf" SpecInt Specint.mcf "network simplex relaxation";
+    mk "parser" SpecInt Specint.parser "dictionary segmentation DP";
+    mk "perlbmk" SpecInt Specint.perlbmk "bytecode interpreter";
+    mk "twolf" SpecInt Specint.twolf "annealing placement";
+    mk "vortex" SpecInt Specint.vortex "object database";
+    mk "vpr" SpecInt Specint.vpr "maze-routing BFS";
+    (* SPEC FP *)
+    mk "applu" SpecFp Specfp.applu "SSOR 3-D sweep";
+    mk "apsi" SpecFp Specfp.apsi "meteorology column update";
+    mk "art" SpecFp Specfp.art "neural image recognition";
+    mk "equake" SpecFp Specfp.equake "sparse mat-vec wave propagation";
+    mk "mesa" SpecFp Specfp.mesa "span rasterization + z-buffer";
+    mk "mgrid" SpecFp Specfp.mgrid "multigrid relaxation";
+    mk "swim" SpecFp Specfp.swim "shallow-water stencils";
+    mk "wupwise" SpecFp Specfp.wupwise "complex 2x2 mat-vec products";
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+let by_suite s = List.filter (fun b -> b.suite = s) all
+let simple_suite = List.filter (fun b -> b.simple) all
+
+let suite_name = function
+  | Kernel -> "Kernels"
+  | Versa -> "VersaBench"
+  | Eembc -> "EEMBC"
+  | SpecInt -> "SPEC INT"
+  | SpecFp -> "SPEC FP"
+
+let golden_cache : (string, Ty.value option * int64) Hashtbl.t = Hashtbl.create 64
+
+let golden b =
+  match Hashtbl.find_opt golden_cache b.name with
+  | Some g -> g
+  | None ->
+    let image = Image.build b.program.Ast.globals in
+    let out = Interp.run_ast b.program image "main" [] in
+    let g = (out.Interp.result, Image.checksum image) in
+    Hashtbl.replace golden_cache b.name g;
+    g

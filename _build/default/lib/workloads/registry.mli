@@ -1,0 +1,30 @@
+(** The benchmark registry: every workload of Table 2 with its suite tag.
+
+    The "Simple" suite of the paper (hand-optimized kernels + VersaBench +
+    eight EEMBC programs) is marked with [simple = true]; the Fig 3–5 and
+    Fig 11 experiments iterate over those, while Fig 6/9/10/12 and Table 3
+    use the SPEC proxies. *)
+
+type suite = Kernel | Versa | Eembc | SpecInt | SpecFp
+
+type bench = {
+  name : string;
+  suite : suite;
+  program : Trips_tir.Ast.program;
+  ret : Trips_tir.Ty.t option;        (* return type of [main] *)
+  simple : bool;                       (* in the paper's "Simple" suite *)
+  hand_edge : Trips_edge.Block.program option; (* genuinely hand-written EDGE *)
+  description : string;
+}
+
+val all : bench list
+val find : string -> bench
+(** @raise Not_found for unknown names. *)
+
+val by_suite : suite -> bench list
+val simple_suite : bench list
+val suite_name : suite -> string
+
+val golden : bench -> Trips_tir.Ty.value option * int64
+(** Reference result and memory checksum from the TIR interpreter (the
+    value every simulated pipeline must reproduce).  Memoized. *)

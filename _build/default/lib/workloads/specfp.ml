@@ -1,0 +1,372 @@
+(* SPEC CPU2000 floating-point proxy benchmarks (Table 2: the eight the
+   paper runs).  Regular loop nests over grids and matrices — the codes the
+   paper shows filling the TRIPS window best (art, mgrid, swim). *)
+
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+open Ast.Infix
+
+(* applu: SSOR-style sweep over a 3-D grid with coupled neighbour terms. *)
+let applu =
+  let n = 18 in
+  (* n^3 grid *)
+  let idx x y z = ((x *: i (n * n)) +: (y *: i n)) +: z in
+  Ast.program
+    ~globals:[ Data.floats "ap_u" ~scale:1.0 (n * n * n) ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          for_ "sweep" (i 0) (i 4)
+            [
+              for_ "x" (i 1) (i (n - 1))
+                [
+                  for_ "y" (i 1) (i (n - 1))
+                    [
+                      for_ "z" (i 1) (i (n - 1))
+                        [
+                          set "c" (ldf (Data.elt8 "ap_u" (idx (v "x") (v "y") (v "z"))));
+                          set "nb"
+                            (ldf (Data.elt8 "ap_u" (idx (v "x" -: i 1) (v "y") (v "z")))
+                            +.: ldf (Data.elt8 "ap_u" (idx (v "x" +: i 1) (v "y") (v "z")))
+                            +.: ldf (Data.elt8 "ap_u" (idx (v "x") (v "y" -: i 1) (v "z")))
+                            +.: ldf (Data.elt8 "ap_u" (idx (v "x") (v "y" +: i 1) (v "z")))
+                            +.: ldf (Data.elt8 "ap_u" (idx (v "x") (v "y") (v "z" -: i 1)))
+                            +.: ldf (Data.elt8 "ap_u" (idx (v "x") (v "y") (v "z" +: i 1))));
+                          stf (Data.elt8 "ap_u" (idx (v "x") (v "y") (v "z")))
+                            ((v "c" *.: f 0.4) +.: (v "nb" *.: f 0.1));
+                        ];
+                    ];
+                ];
+            ];
+          set "s" (f 0.0);
+          for_ "k" (i 0) (i (n * n * n))
+            [ set "s" (v "s" +.: ldf (Data.elt8 "ap_u" (v "k"))) ];
+          ret (v "s");
+        ];
+    ]
+
+(* apsi: meteorology grid update — vertical column recurrences with
+   temperature/pressure coupling. *)
+let apsi =
+  let cols = 256 and levels = 24 in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "as_t" ~scale:30.0 (cols * levels);
+        Data.floats "as_p" ~scale:5.0 (cols * levels);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "s" (f 0.0);
+          for_ "c" (i 0) (i cols)
+            [
+              set "tacc" (f 0.0);
+              for_ "l" (i 1) (i levels)
+                [
+                  set "t" (ldf (Data.elt8 "as_t" ((v "c" *: i levels) +: v "l")));
+                  set "p" (ldf (Data.elt8 "as_p" ((v "c" *: i levels) +: v "l")));
+                  set "below" (ldf (Data.elt8 "as_t" ((v "c" *: i levels) +: v "l" -: i 1)));
+                  (* advective mixing with the level below *)
+                  set "nt" ((v "t" *.: f 0.8) +.: (v "below" *.: f 0.15) +.: (v "p" *.: f 0.05));
+                  stf (Data.elt8 "as_t" ((v "c" *: i levels) +: v "l")) (v "nt");
+                  set "tacc" (v "tacc" +.: v "nt");
+                ];
+              set "s" (v "s" +.: v "tacc");
+            ];
+          ret (v "s");
+        ];
+    ]
+
+(* art: adaptive-resonance image recognition — F1/F2 layer dot products
+   and a winner-take-all scan (the window-filling code of Table 3). *)
+let art =
+  let features = 64 and categories = 24 and samples = 48 in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "ar_w" ~scale:1.0 (categories * features);
+        Data.floats "ar_in" ~scale:1.0 (samples * features);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "score" (f 0.0);
+          for_ "s" (i 0) (i samples)
+            [
+              set "best" (f (-1.0));
+              set "besti" (i 0);
+              for_ "c" (i 0) (i categories)
+                [
+                  set "dot" (f 0.0);
+                  set "norm" (f 0.0);
+                  for_ "k" (i 0) (i features)
+                    [
+                      set "w" (ldf (Data.elt8 "ar_w" ((v "c" *: i features) +: v "k")));
+                      set "x" (ldf (Data.elt8 "ar_in" ((v "s" *: i features) +: v "k")));
+                      set "dot" (v "dot" +.: (v "w" *.: v "x"));
+                      set "norm" (v "norm" +.: v "w");
+                    ];
+                  set "act" (v "dot" /.: (f 0.5 +.: v "norm"));
+                  if_ (v "act" >.: v "best")
+                    [ set "best" (v "act"); set "besti" (v "c") ]
+                    [];
+                ];
+              (* resonance: nudge the winner toward the input *)
+              for_ "k" (i 0) (i features)
+                [
+                  set "w" (ldf (Data.elt8 "ar_w" ((v "besti" *: i features) +: v "k")));
+                  set "x" (ldf (Data.elt8 "ar_in" ((v "s" *: i features) +: v "k")));
+                  stf (Data.elt8 "ar_w" ((v "besti" *: i features) +: v "k"))
+                    ((v "w" *.: f 0.9) +.: (v "x" *.: f 0.1));
+                ];
+              set "score" (v "score" +.: v "best");
+            ];
+          ret (v "score");
+        ];
+    ]
+
+(* equake: sparse matrix-vector products over an irregular mesh
+   (indexed gathers). *)
+let equake =
+  let nodes = 1024 and nnz = 8192 and steps = 6 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "eq_row" nnz (fun k -> Int64.of_int ((k * 7) mod nodes));
+        Data.ints_f "eq_col" nnz (fun k -> Int64.of_int ((k * 131 + 17) mod nodes));
+        Data.floats "eq_a" ~scale:0.01 nnz;
+        Data.floats "eq_x" ~scale:1.0 nodes;
+        Data.zeros "eq_y" nodes;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          for_ "t" (i 0) (i steps)
+            [
+              for_ "k" (i 0) (i nodes) [ stf (Data.elt8 "eq_y" (v "k")) (f 0.0) ];
+              for_ "e" (i 0) (i nnz)
+                [
+                  set "r" (ld8 (Data.elt8 "eq_row" (v "e")));
+                  set "c" (ld8 (Data.elt8 "eq_col" (v "e")));
+                  stf (Data.elt8 "eq_y" (v "r"))
+                    (ldf (Data.elt8 "eq_y" (v "r"))
+                    +.: (ldf (Data.elt8 "eq_a" (v "e")) *.: ldf (Data.elt8 "eq_x" (v "c"))));
+                ];
+              (* time integration: x += dt * y *)
+              for_ "k" (i 0) (i nodes)
+                [
+                  stf (Data.elt8 "eq_x" (v "k"))
+                    (ldf (Data.elt8 "eq_x" (v "k"))
+                    +.: (f 0.05 *.: ldf (Data.elt8 "eq_y" (v "k"))));
+                ];
+            ];
+          set "s" (f 0.0);
+          for_ "k" (i 0) (i nodes) [ set "s" (v "s" +.: ldf (Data.elt8 "eq_x" (v "k"))) ];
+          ret (v "s");
+        ];
+    ]
+
+(* mesa: software rasterization — span interpolation with z-buffer
+   compares (mixed float arithmetic and branches). *)
+let mesa =
+  let w = 128 and h = 64 and tris = 96 in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "me_z" ~scale:1.0 (w * h);
+        Data.ints "me_tri" ~lo:0 ~hi:127 (tris * 4);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "drawn" (f 0.0);
+          for_ "t" (i 0) (i tris)
+            [
+              set "x0" (ld8 (Data.elt8 "me_tri" (v "t" *: i 4)) %: i w);
+              set "y0" (ld8 (Data.elt8 "me_tri" ((v "t" *: i 4) +: i 1)) %: i h);
+              set "len" ((ld8 (Data.elt8 "me_tri" ((v "t" *: i 4) +: i 2)) %: i 24) +: i 4);
+              set "z0" (Ast.Un (Ast.Itof, ld8 (Data.elt8 "me_tri" ((v "t" *: i 4) +: i 3)))
+                        /.: f 128.0);
+              set "rows" (i 6);
+              for_ "dy" (i 0) (i 6)
+                [
+                  set "y" (v "y0" +: v "dy");
+                  if_ (v "y" <: i h)
+                    [
+                      set "z" (v "z0");
+                      set "dz" (f 0.01 +.: (Ast.Un (Ast.Itof, v "dy") *.: f 0.001));
+                      for_ "dx" (i 0) (v "len")
+                        [
+                          set "x" (v "x0" +: v "dx");
+                          if_ (v "x" <: i w)
+                            [
+                              set "old" (ldf (Data.elt8 "me_z" ((v "y" *: i w) +: v "x")));
+                              if_ (v "z" <.: v "old")
+                                [
+                                  stf (Data.elt8 "me_z" ((v "y" *: i w) +: v "x")) (v "z");
+                                  set "drawn" (v "drawn" +.: f 1.0);
+                                ]
+                                [];
+                            ]
+                            [];
+                          set "z" (v "z" +.: v "dz");
+                        ];
+                    ]
+                    [];
+                ];
+              Ast.Expr (v "rows");
+            ];
+          set "s" (f 0.0);
+          for_step "k" (i 0) (i (w * h)) 13L
+            [ set "s" (v "s" +.: ldf (Data.elt8 "me_z" (v "k"))) ];
+          ret (v "drawn" +.: v "s");
+        ];
+    ]
+
+(* mgrid: multigrid V-cycle relaxation on nested 3-D grids (27-point
+   stencil approximated with the 7-point core). *)
+let mgrid =
+  let n = 20 in
+  let idx x y z = ((x *: i (n * n)) +: (y *: i n)) +: z in
+  Ast.program
+    ~globals:
+      [ Data.floats "mg_u" ~scale:1.0 (n * n * n); Data.floats "mg_r" ~scale:0.1 (n * n * n) ]
+    [
+      Ast.func "relax" ~ret:Ty.F64
+        [
+          set "change" (f 0.0);
+          for_ "x" (i 1) (i (n - 1))
+            [
+              for_ "y" (i 1) (i (n - 1))
+                [
+                  for_ "z" (i 1) (i (n - 1))
+                    [
+                      set "nb"
+                        (ldf (Data.elt8 "mg_u" (idx (v "x" -: i 1) (v "y") (v "z")))
+                        +.: ldf (Data.elt8 "mg_u" (idx (v "x" +: i 1) (v "y") (v "z")))
+                        +.: ldf (Data.elt8 "mg_u" (idx (v "x") (v "y" -: i 1) (v "z")))
+                        +.: ldf (Data.elt8 "mg_u" (idx (v "x") (v "y" +: i 1) (v "z")))
+                        +.: ldf (Data.elt8 "mg_u" (idx (v "x") (v "y") (v "z" -: i 1)))
+                        +.: ldf (Data.elt8 "mg_u" (idx (v "x") (v "y") (v "z" +: i 1))));
+                      set "new"
+                        ((v "nb" /.: f 6.0)
+                        +.: ldf (Data.elt8 "mg_r" (idx (v "x") (v "y") (v "z"))));
+                      set "old" (ldf (Data.elt8 "mg_u" (idx (v "x") (v "y") (v "z"))));
+                      stf (Data.elt8 "mg_u" (idx (v "x") (v "y") (v "z"))) (v "new");
+                      set "change" (v "change" +.: ((v "new" -.: v "old") *.: (v "new" -.: v "old")));
+                    ];
+                ];
+            ];
+          ret (v "change");
+        ];
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "total" (f 0.0);
+          for_ "cycle" (i 0) (i 3)
+            [ set "total" (v "total" +.: call "relax" []) ];
+          ret (v "total");
+        ];
+    ]
+
+(* swim: shallow-water equations — 2-D finite-difference stencils over
+   three coupled fields (the best window-filler in Table 3). *)
+let swim =
+  let n = 64 in
+  let idx x y = (x *: i n) +: y in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "sw_u" ~scale:1.0 (n * n);
+        Data.floats "sw_v" ~scale:1.0 (n * n);
+        Data.floats "sw_p" ~scale:10.0 (n * n);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          for_ "t" (i 0) (i 4)
+            [
+              for_ "x" (i 1) (i (n - 1))
+                [
+                  for_ "y" (i 1) (i (n - 1))
+                    [
+                      set "du"
+                        (ldf (Data.elt8 "sw_p" (idx (v "x" +: i 1) (v "y")))
+                        -.: ldf (Data.elt8 "sw_p" (idx (v "x" -: i 1) (v "y"))));
+                      set "dv"
+                        (ldf (Data.elt8 "sw_p" (idx (v "x") (v "y" +: i 1)))
+                        -.: ldf (Data.elt8 "sw_p" (idx (v "x") (v "y" -: i 1))));
+                      stf (Data.elt8 "sw_u" (idx (v "x") (v "y")))
+                        (ldf (Data.elt8 "sw_u" (idx (v "x") (v "y"))) -.: (f 0.05 *.: v "du"));
+                      stf (Data.elt8 "sw_v" (idx (v "x") (v "y")))
+                        (ldf (Data.elt8 "sw_v" (idx (v "x") (v "y"))) -.: (f 0.05 *.: v "dv"));
+                    ];
+                ];
+              for_ "x" (i 1) (i (n - 1))
+                [
+                  for_ "y" (i 1) (i (n - 1))
+                    [
+                      set "div"
+                        ((ldf (Data.elt8 "sw_u" (idx (v "x" +: i 1) (v "y")))
+                         -.: ldf (Data.elt8 "sw_u" (idx (v "x" -: i 1) (v "y"))))
+                        +.: (ldf (Data.elt8 "sw_v" (idx (v "x") (v "y" +: i 1)))
+                            -.: ldf (Data.elt8 "sw_v" (idx (v "x") (v "y" -: i 1)))));
+                      stf (Data.elt8 "sw_p" (idx (v "x") (v "y")))
+                        (ldf (Data.elt8 "sw_p" (idx (v "x") (v "y"))) -.: (f 0.1 *.: v "div"));
+                    ];
+                ];
+            ];
+          set "s" (f 0.0);
+          for_ "k" (i 0) (i (n * n)) [ set "s" (v "s" +.: ldf (Data.elt8 "sw_p" (v "k"))) ];
+          ret (v "s");
+        ];
+    ]
+
+(* wupwise: lattice-QCD flavoured complex matrix-vector products (BLAS-like
+   zaxpy/zgemv inner loops). *)
+let wupwise =
+  let sites = 512 in
+  Ast.program
+    ~globals:
+      [
+        (* 2x2 complex matrices per site: 8 doubles; spinors: 4 doubles *)
+        Data.floats "wu_m" ~scale:1.0 (sites * 8);
+        Data.floats "wu_s" ~scale:1.0 (sites * 4);
+        Data.zeros "wu_r" (sites * 4);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.F64
+        [
+          for_ "site" (i 0) (i sites)
+            [
+              set "mb" (v "site" *: i 8);
+              set "sb" (v "site" *: i 4);
+              (* r = M * s for a 2x2 complex matrix and 2-component spinor *)
+              for_ "row" (i 0) (i 2)
+                [
+                  set "rr" (f 0.0);
+                  set "ri" (f 0.0);
+                  for_ "col" (i 0) (i 2)
+                    [
+                      set "ar" (ldf (Data.elt8 "wu_m" (v "mb" +: (((v "row" *: i 2) +: v "col") *: i 2))));
+                      set "ai" (ldf (Data.elt8 "wu_m" (v "mb" +: (((v "row" *: i 2) +: v "col") *: i 2) +: i 1)));
+                      set "xr" (ldf (Data.elt8 "wu_s" (v "sb" +: (v "col" *: i 2))));
+                      set "xi" (ldf (Data.elt8 "wu_s" (v "sb" +: (v "col" *: i 2) +: i 1)));
+                      set "rr" (v "rr" +.: ((v "ar" *.: v "xr") -.: (v "ai" *.: v "xi")));
+                      set "ri" (v "ri" +.: ((v "ar" *.: v "xi") +.: (v "ai" *.: v "xr")));
+                    ];
+                  stf (Data.elt8 "wu_r" (v "sb" +: (v "row" *: i 2))) (v "rr");
+                  stf (Data.elt8 "wu_r" (v "sb" +: (v "row" *: i 2) +: i 1)) (v "ri");
+                ];
+            ];
+          (* zaxpy accumulation pass *)
+          set "s" (f 0.0);
+          for_ "k" (i 0) (i (sites * 4))
+            [
+              set "s"
+                (v "s"
+                +.: (ldf (Data.elt8 "wu_r" (v "k")) *.: ldf (Data.elt8 "wu_s" (v "k"))));
+            ];
+          ret (v "s");
+        ];
+    ]

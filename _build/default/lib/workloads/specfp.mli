@@ -1,0 +1,10 @@
+(** SPEC CPU2000 floating-point proxy benchmarks (the eight of Table 2). *)
+
+val applu : Trips_tir.Ast.program
+val apsi : Trips_tir.Ast.program
+val art : Trips_tir.Ast.program
+val equake : Trips_tir.Ast.program
+val mesa : Trips_tir.Ast.program
+val mgrid : Trips_tir.Ast.program
+val swim : Trips_tir.Ast.program
+val wupwise : Trips_tir.Ast.program

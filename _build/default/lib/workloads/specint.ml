@@ -1,0 +1,588 @@
+(* SPEC CPU2000 integer proxy benchmarks (Table 2: all but gap and the C++
+   codes).  Each reproduces the original's dominant computational idiom —
+   what drives block size, prediction behaviour and memory traffic — at a
+   SimPoint-like scale. *)
+
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+open Ast.Infix
+
+(* bzip2: move-to-front transform + run-length coding over a block. *)
+let bzip2 =
+  let n = 16384 in
+  Ast.program
+    ~globals:[ Data.bytes_ "bz_in" n; Data.ints_f "bz_mtf" 256 Int64.of_int ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          set "run" (i 0);
+          set "lastsym" (i (-1));
+          for_ "k" (i 0) (i n)
+            [
+              set "c" (ld1 (Data.elt1 "bz_in" (v "k")));
+              (* find c's position in the MTF list *)
+              set "pos" (i 0);
+              while_ (ld8 (Data.elt8 "bz_mtf" (v "pos")) <>: v "c")
+                [ set "pos" (v "pos" +: i 1) ];
+              (* shift everything before it down one *)
+              set "j" (v "pos");
+              while_ (v "j" >: i 0)
+                [
+                  st8 (Data.elt8 "bz_mtf" (v "j")) (ld8 (Data.elt8 "bz_mtf" (v "j" -: i 1)));
+                  set "j" (v "j" -: i 1);
+                ];
+              st8 (Data.elt8 "bz_mtf" (i 0)) (v "c");
+              (* run-length encode the MTF output *)
+              if_ (v "pos" =: v "lastsym")
+                [ set "run" (v "run" +: i 1) ]
+                [
+                  set "acc" (v "acc" +: (v "run" *: i 3) +: v "pos");
+                  set "run" (i 0);
+                  set "lastsym" (v "pos");
+                ];
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* crafty: bitboard move generation and popcount-heavy evaluation with a
+   small alpha-beta-ish scan. *)
+let crafty =
+  let positions = 2048 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "cr_occ" positions (fun k ->
+            Int64.logxor
+              (Int64.mul (Int64.of_int (k + 1)) 0x9E3779B97F4A7C15L)
+              0x0F0F00FF00F0FF00L);
+        Data.ints_f "cr_own" positions (fun k ->
+            Int64.mul (Int64.of_int (k + 7)) 0xC2B2AE3D27D4EB4FL);
+      ]
+    [
+      Ast.func "popcount" ~params:[ ("x", Ty.I64) ] ~ret:Ty.I64
+        [
+          set "c" (i 0);
+          while_ (v "x" <>: i 0)
+            [ set "c" (v "c" +: i 1); set "x" (v "x" &: (v "x" -: i 1)) ];
+          ret (v "c");
+        ];
+      Ast.func "mobility" ~params:[ ("occ", Ty.I64); ("own", Ty.I64) ] ~ret:Ty.I64
+        [
+          (* sliding attacks along files via shifts until blocked (4 rays
+             approximated with shift-mask chains) *)
+          set "att" (i 0);
+          set "ray" (v "own");
+          for_ "s" (i 0) (i 6)
+            [
+              set "ray" ((v "ray" <<: i 8) &: Ast.Un (Ast.Not, v "occ"));
+              set "att" (v "att" |: v "ray");
+            ];
+          set "ray" (v "own");
+          for_ "s" (i 0) (i 6)
+            [
+              set "ray" ((v "ray" >>: i 8) &: Ast.Un (Ast.Not, v "occ"));
+              set "att" (v "att" |: v "ray");
+            ];
+          ret (call "popcount" [ v "att" ]);
+        ];
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "best" (i (-1000000));
+          set "acc" (i 0);
+          for_ "p" (i 0) (i positions)
+            [
+              set "occ" (ld8 (Data.elt8 "cr_occ" (v "p")));
+              set "own" (v "occ" &: ld8 (Data.elt8 "cr_own" (v "p")));
+              set "score"
+                ((call "mobility" [ v "occ"; v "own" ] *: i 4)
+                +: call "popcount" [ v "own" ]);
+              if_ (v "score" >: v "best") [ set "best" (v "score") ] [];
+              set "acc" (v "acc" +: v "score");
+            ];
+          ret ((v "best" <<: i 32) ^: v "acc");
+        ];
+    ]
+
+(* gcc: expression-DAG value numbering — hash-table driven CSE over a
+   stream of three-address tuples (pointer/hash heavy, irregular). *)
+let gcc =
+  let nops = 6144 and table = 1024 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "gc_op" ~lo:0 ~hi:3 nops;
+        Data.ints "gc_a" ~lo:0 ~hi:255 nops;
+        Data.ints "gc_b" ~lo:0 ~hi:255 nops;
+        Data.zeros "gc_tab_key" table;
+        Data.zeros "gc_tab_val" table;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "next_vn" (i 1);
+          set "hits" (i 0);
+          set "acc" (i 0);
+          for_ "k" (i 0) (i nops)
+            [
+              set "key"
+                ((ld8 (Data.elt8 "gc_op" (v "k")) <<: i 20)
+                |: (ld8 (Data.elt8 "gc_a" (v "k")) <<: i 10)
+                |: ld8 (Data.elt8 "gc_b" (v "k")));
+              set "h" (((v "key" *: i 2654435761) >>: i 16) &: i (table - 1));
+              (* linear probe *)
+              set "found" (i 0);
+              set "probe" (i 0);
+              while_ ((v "probe" <: i 8) &: (v "found" =: i 0))
+                [
+                  set "slot" ((v "h" +: v "probe") &: i (table - 1));
+                  set "kk" (ld8 (Data.elt8 "gc_tab_key" (v "slot")));
+                  if_ (v "kk" =: v "key" +: i 1)
+                    [
+                      set "found" (i 1);
+                      set "hits" (v "hits" +: i 1);
+                      set "acc" (v "acc" +: ld8 (Data.elt8 "gc_tab_val" (v "slot")));
+                    ]
+                    [
+                      if_ (v "kk" =: i 0)
+                        [
+                          st8 (Data.elt8 "gc_tab_key" (v "slot")) (v "key" +: i 1);
+                          st8 (Data.elt8 "gc_tab_val" (v "slot")) (v "next_vn");
+                          set "next_vn" (v "next_vn" +: i 1);
+                          set "found" (i 1);
+                        ]
+                        [ set "probe" (v "probe" +: i 1) ];
+                    ];
+                ];
+            ];
+          ret ((v "hits" <<: i 24) ^: (v "next_vn" <<: i 12) ^: (v "acc" &: i 4095));
+        ];
+    ]
+
+(* gzip: LZ77 with hash-chain match search over a byte window. *)
+let gzip =
+  let n = 12288 and window = 1024 in
+  Ast.program
+    ~globals:
+      [
+        Data.bytes_ "gz_in" n;
+        Data.ints_f "gz_head" 256 (fun _ -> -1L);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "outbits" (i 0);
+          set "pos" (i 0);
+          while_ (v "pos" <: i (n - 4))
+            [
+              set "h" (ld1 (Data.elt1 "gz_in" (v "pos")));
+              set "cand" (ld8 (Data.elt8 "gz_head" (v "h")));
+              st8 (Data.elt8 "gz_head" (v "h")) (v "pos");
+              set "bestlen" (i 0);
+              if_ ((v "cand" >=: i 0) &: (v "pos" -: v "cand" <: i window))
+                [
+                  set "len" (i 0);
+                  while_
+                    ((v "len" <: i 32)
+                    &: (v "pos" +: v "len" <: i n)
+                    &: (ld1 (Data.elt1 "gz_in" (v "cand" +: v "len"))
+                       =: ld1 (Data.elt1 "gz_in" (v "pos" +: v "len"))))
+                    [ set "len" (v "len" +: i 1) ];
+                  set "bestlen" (v "len");
+                ]
+                [];
+              if_ (v "bestlen" >: i 2)
+                [
+                  set "outbits" (v "outbits" +: i 20);
+                  set "pos" (v "pos" +: v "bestlen");
+                ]
+                [
+                  set "outbits" (v "outbits" +: i 9);
+                  set "pos" (v "pos" +: i 1);
+                ];
+            ];
+          ret (v "outbits");
+        ];
+    ]
+
+(* mcf: network-simplex flavoured relaxation — pointer chasing over arc
+   lists with cost comparisons (memory latency bound). *)
+let mcf =
+  let nodes = 1024 and arcs = 4096 and iters = 6 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "mc_tail" arcs (fun k -> Int64.of_int ((k * 131) mod nodes));
+        Data.ints_f "mc_head" arcs (fun k -> Int64.of_int ((k * 197 + 13) mod nodes));
+        Data.ints "mc_cost" ~lo:1 ~hi:99 arcs;
+        Data.zeros "mc_pot" nodes;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "updates" (i 0);
+          for_ "it" (i 0) (i iters)
+            [
+              for_ "a" (i 0) (i arcs)
+                [
+                  set "t" (ld8 (Data.elt8 "mc_tail" (v "a")));
+                  set "hd" (ld8 (Data.elt8 "mc_head" (v "a")));
+                  set "red"
+                    (ld8 (Data.elt8 "mc_cost" (v "a"))
+                    +: ld8 (Data.elt8 "mc_pot" (v "t"))
+                    -: ld8 (Data.elt8 "mc_pot" (v "hd")));
+                  if_ (v "red" <: i 0)
+                    [
+                      st8 (Data.elt8 "mc_pot" (v "hd"))
+                        (ld8 (Data.elt8 "mc_pot" (v "hd")) +: v "red");
+                      set "updates" (v "updates" +: i 1);
+                    ]
+                    [];
+                ];
+            ];
+          set "acc" (i 0);
+          for_ "k" (i 0) (i nodes)
+            [ set "acc" (v "acc" +: ld8 (Data.elt8 "mc_pot" (v "k"))) ];
+          ret ((v "updates" <<: i 24) ^: (v "acc" &: Ast.Int 0xFFFFFFL));
+        ];
+    ]
+
+(* parser: dictionary-driven segmentation by dynamic programming (word
+   lookups with data-dependent inner loops). *)
+let parser =
+  let n = 2048 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "pa_text" n (fun k ->
+            Int64.of_int (97 + ((k * k * 31 + k) mod 26)));
+        Data.zeros "pa_best" (n + 1);
+      ]
+    [
+      (* a word is "in the dictionary" if its letters satisfy a running
+         congruence — cheap but data dependent *)
+      Ast.func "is_word" ~params:[ ("s", Ty.I64); ("len", Ty.I64) ] ~ret:Ty.I64
+        [
+          set "h" (i 0);
+          for_ "k" (i 0) (v "len")
+            [ set "h" ((v "h" *: i 31) +: ld8 (Data.elt8 "pa_text" (v "s" +: v "k"))) ];
+          ret (Ast.Bin (Ast.Eq, v "h" %: i 7, i 3));
+        ];
+      Ast.func "main" ~ret:Ty.I64
+        [
+          st8 (Data.elt8 "pa_best" (i 0)) (i 1);
+          for_ "pos" (i 1) (i (n + 1))
+            [ st8 (Data.elt8 "pa_best" (v "pos")) (i 0) ];
+          for_ "pos" (i 0) (i n)
+            [
+              if_ (ld8 (Data.elt8 "pa_best" (v "pos")) >: i 0)
+                [
+                  for_ "len" (i 1) (i 7)
+                    [
+                      if_ (v "pos" +: v "len" <=: i n)
+                        [
+                          if_ (call "is_word" [ v "pos"; v "len" ] =: i 1)
+                            [
+                              st8 (Data.elt8 "pa_best" (v "pos" +: v "len"))
+                                (ld8 (Data.elt8 "pa_best" (v "pos" +: v "len")) +: i 1);
+                            ]
+                            [];
+                        ]
+                        [];
+                    ];
+                ]
+                [];
+            ];
+          set "acc" (i 0);
+          for_ "k" (i 0) (i (n + 1))
+            [ set "acc" (v "acc" +: (ld8 (Data.elt8 "pa_best" (v "k")) *: (v "k" &: i 63))) ];
+          ret (v "acc");
+        ];
+    ]
+
+(* perlbmk: bytecode interpreter — a dispatch loop over a synthetic opcode
+   stream with a small operand stack (indirect-control heavy). *)
+let perlbmk =
+  let prog_len = 4096 and steps = 20000 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "pl_code" ~lo:0 ~hi:7 prog_len;
+        Data.ints "pl_arg" ~lo:1 ~hi:255 prog_len;
+        Data.zeros "pl_stack" 64;
+        Data.zeros "pl_vars" 26;
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "pc" (i 0);
+          set "sp" (i 0);
+          set "executed" (i 0);
+          set "acc" (i 0);
+          while_ (v "executed" <: i steps)
+            [
+              set "op" (ld8 (Data.elt8 "pl_code" (v "pc")));
+              set "arg" (ld8 (Data.elt8 "pl_arg" (v "pc")));
+              set "pc" ((v "pc" +: i 1) %: i prog_len);
+              set "executed" (v "executed" +: i 1);
+              if_ (v "op" =: i 0)
+                [ (* push constant *)
+                  if_ (v "sp" <: i 63)
+                    [ st8 (Data.elt8 "pl_stack" (v "sp")) (v "arg");
+                      set "sp" (v "sp" +: i 1) ]
+                    [];
+                ]
+                [ if_ (v "op" =: i 1)
+                    [ (* add top two *)
+                      if_ (v "sp" >=: i 2)
+                        [
+                          set "sp" (v "sp" -: i 1);
+                          st8 (Data.elt8 "pl_stack" (v "sp" -: i 1))
+                            (ld8 (Data.elt8 "pl_stack" (v "sp" -: i 1))
+                            +: ld8 (Data.elt8 "pl_stack" (v "sp")));
+                        ]
+                        [];
+                    ]
+                    [ if_ (v "op" =: i 2)
+                        [ (* store to variable *)
+                          if_ (v "sp" >=: i 1)
+                            [
+                              set "sp" (v "sp" -: i 1);
+                              st8 (Data.elt8 "pl_vars" (v "arg" %: i 26))
+                                (ld8 (Data.elt8 "pl_stack" (v "sp")));
+                            ]
+                            [];
+                        ]
+                        [ if_ (v "op" =: i 3)
+                            [ (* load variable *)
+                              if_ (v "sp" <: i 63)
+                                [
+                                  st8 (Data.elt8 "pl_stack" (v "sp"))
+                                    (ld8 (Data.elt8 "pl_vars" (v "arg" %: i 26)));
+                                  set "sp" (v "sp" +: i 1);
+                                ]
+                                [];
+                            ]
+                            [ if_ (v "op" =: i 4)
+                                [ (* conditional skip *)
+                                  if_
+                                    ((v "sp" >=: i 1)
+                                    &: (ld8 (Data.elt8 "pl_stack" (v "sp" -: i 1)) &: i 1))
+                                    [ set "pc" ((v "pc" +: v "arg") %: i prog_len) ]
+                                    [];
+                                ]
+                                [ if_ (v "op" =: i 5)
+                                    [ (* xor-fold top *)
+                                      if_ (v "sp" >=: i 1)
+                                        [
+                                          st8 (Data.elt8 "pl_stack" (v "sp" -: i 1))
+                                            (ld8 (Data.elt8 "pl_stack" (v "sp" -: i 1))
+                                            ^: v "arg");
+                                        ]
+                                        [];
+                                    ]
+                                    [ (* ops 6,7: accumulate and pop *)
+                                      if_ (v "sp" >=: i 1)
+                                        [
+                                          set "sp" (v "sp" -: i 1);
+                                          set "acc"
+                                            (v "acc"
+                                            +: ld8 (Data.elt8 "pl_stack" (v "sp")));
+                                        ]
+                                        [];
+                                    ];
+                                ];
+                            ];
+                        ];
+                    ];
+                ];
+            ];
+          set "vsum" (i 0);
+          for_ "k" (i 0) (i 26)
+            [ set "vsum" (v "vsum" +: ld8 (Data.elt8 "pl_vars" (v "k"))) ];
+          ret ((v "acc" <<: i 16) ^: (v "vsum" &: Ast.Int 0xFFFFL));
+        ];
+    ]
+
+(* twolf: simulated-annealing placement — swap proposals with cost deltas
+   and an LCG acceptance test. *)
+let twolf =
+  let cells = 256 and moves = 8000 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "tw_x" cells (fun k -> Int64.of_int (k mod 16));
+        Data.ints_f "tw_y" cells (fun k -> Int64.of_int (k / 16));
+        Data.ints_f "tw_net" (cells * 2) (fun k -> Int64.of_int ((k * 37 + 11) mod cells));
+      ]
+    [
+      Ast.func "wirelen" ~params:[ ("c", Ty.I64) ] ~ret:Ty.I64
+        [
+          set "total" (i 0);
+          (* two nets per cell *)
+          for_ "j" (i 0) (i 2)
+            [
+              set "o" (ld8 (Data.elt8 "tw_net" ((v "c" *: i 2) +: v "j")));
+              set "dx" (ld8 (Data.elt8 "tw_x" (v "c")) -: ld8 (Data.elt8 "tw_x" (v "o")));
+              set "dy" (ld8 (Data.elt8 "tw_y" (v "c")) -: ld8 (Data.elt8 "tw_y" (v "o")));
+              if_ (v "dx" <: i 0) [ set "dx" (i 0 -: v "dx") ] [];
+              if_ (v "dy" <: i 0) [ set "dy" (i 0 -: v "dy") ] [];
+              set "total" (v "total" +: v "dx" +: v "dy");
+            ];
+          ret (v "total");
+        ];
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "seed" (i 12345);
+          set "accepted" (i 0);
+          set "cost" (i 0);
+          for_ "m" (i 0) (i moves)
+            [
+              set "seed" (((v "seed" *: i 1103515245) +: i 12345) &: Ast.Int 0x7FFFFFFFL);
+              set "a" (v "seed" %: i cells);
+              set "seed" (((v "seed" *: i 1103515245) +: i 12345) &: Ast.Int 0x7FFFFFFFL);
+              set "b" (v "seed" %: i cells);
+              set "before" (call "wirelen" [ v "a" ] +: call "wirelen" [ v "b" ]);
+              (* swap *)
+              set "tx" (ld8 (Data.elt8 "tw_x" (v "a")));
+              set "ty" (ld8 (Data.elt8 "tw_y" (v "a")));
+              st8 (Data.elt8 "tw_x" (v "a")) (ld8 (Data.elt8 "tw_x" (v "b")));
+              st8 (Data.elt8 "tw_y" (v "a")) (ld8 (Data.elt8 "tw_y" (v "b")));
+              st8 (Data.elt8 "tw_x" (v "b")) (v "tx");
+              st8 (Data.elt8 "tw_y" (v "b")) (v "ty");
+              set "after" (call "wirelen" [ v "a" ] +: call "wirelen" [ v "b" ]);
+              set "delta" (v "after" -: v "before");
+              (* accept improvements and occasional uphill moves *)
+              if_ ((v "delta" <: i 0) |: ((v "seed" &: i 31) =: i 7))
+                [ set "accepted" (v "accepted" +: i 1); set "cost" (v "cost" +: v "delta") ]
+                [
+                  (* revert *)
+                  set "tx" (ld8 (Data.elt8 "tw_x" (v "a")));
+                  set "ty" (ld8 (Data.elt8 "tw_y" (v "a")));
+                  st8 (Data.elt8 "tw_x" (v "a")) (ld8 (Data.elt8 "tw_x" (v "b")));
+                  st8 (Data.elt8 "tw_y" (v "a")) (ld8 (Data.elt8 "tw_y" (v "b")));
+                  st8 (Data.elt8 "tw_x" (v "b")) (v "tx");
+                  st8 (Data.elt8 "tw_y" (v "b")) (v "ty");
+                ];
+            ];
+          ret ((v "accepted" <<: i 20) ^: (v "cost" &: Ast.Int 0xFFFFFL));
+        ];
+    ]
+
+(* vortex: in-memory object database — keyed record insertion and lookup
+   over bucketed tables (call + store heavy). *)
+let vortex =
+  let ops = 4096 and buckets = 256 and cap = 8 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints "vx_key" ~lo:0 ~hi:65535 ops;
+        Data.zeros "vx_count" buckets;
+        Data.zeros "vx_store" (buckets * cap);
+      ]
+    [
+      Ast.func "bucket_insert" ~params:[ ("key", Ty.I64) ] ~ret:Ty.I64
+        [
+          set "b" (v "key" &: i (buckets - 1));
+          set "cnt" (ld8 (Data.elt8 "vx_count" (v "b")));
+          if_ (v "cnt" <: i cap)
+            [
+              st8 (Data.elt8 "vx_store" ((v "b" *: i cap) +: v "cnt")) (v "key");
+              st8 (Data.elt8 "vx_count" (v "b")) (v "cnt" +: i 1);
+              ret (i 1);
+            ]
+            [];
+          ret (i 0);
+        ];
+      Ast.func "bucket_find" ~params:[ ("key", Ty.I64) ] ~ret:Ty.I64
+        [
+          set "b" (v "key" &: i (buckets - 1));
+          set "cnt" (ld8 (Data.elt8 "vx_count" (v "b")));
+          for_ "j" (i 0) (v "cnt")
+            [
+              if_ (ld8 (Data.elt8 "vx_store" ((v "b" *: i cap) +: v "j")) =: v "key")
+                [ ret (v "j" +: i 1) ]
+                [];
+            ];
+          ret (i 0);
+        ];
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "inserted" (i 0);
+          set "found" (i 0);
+          for_ "k" (i 0) (i ops)
+            [
+              set "key" (ld8 (Data.elt8 "vx_key" (v "k")));
+              if_ (v "k" &: i 1)
+                [ set "found" (v "found" +: call "bucket_find" [ v "key" ]) ]
+                [ set "inserted" (v "inserted" +: call "bucket_insert" [ v "key" ]) ];
+            ];
+          ret ((v "inserted" <<: i 24) ^: v "found");
+        ];
+    ]
+
+(* vpr: maze routing — BFS wavefront expansion over a grid with
+   obstruction tests. *)
+let vpr =
+  let dim = 48 and routes = 24 in
+  Ast.program
+    ~globals:
+      [
+        Data.ints_f "vp_block" (dim * dim) (fun k ->
+            if (k * 2654435761) land 0xFF < 40 then 1L else 0L);
+        Data.zeros "vp_dist" (dim * dim);
+        Data.zeros "vp_qx" (dim * dim);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "acc" (i 0);
+          for_ "r" (i 0) (i routes)
+            [
+              for_ "k" (i 0) (i (dim * dim)) [ st8 (Data.elt8 "vp_dist" (v "k")) (i (-1)) ];
+              set "src" ((v "r" *: i 97) %: i (dim * dim));
+              set "dst" ((v "r" *: i 211 +: i 31) %: i (dim * dim));
+              st8 (Data.elt8 "vp_dist" (v "src")) (i 0);
+              st8 (Data.elt8 "vp_qx" (i 0)) (v "src");
+              set "head" (i 0);
+              set "tail" (i 1);
+              while_ (v "head" <: v "tail")
+                [
+                  set "cur" (ld8 (Data.elt8 "vp_qx" (v "head")));
+                  set "head" (v "head" +: i 1);
+                  set "d" (ld8 (Data.elt8 "vp_dist" (v "cur")));
+                  set "cx" (v "cur" %: i dim);
+                  set "cy" (v "cur" /: i dim);
+                  (* four neighbours with bounds + obstruction checks *)
+                  for_ "dir" (i 0) (i 4)
+                    [
+                      set "nx" (v "cx");
+                      set "ny" (v "cy");
+                      if_ (v "dir" =: i 0) [ set "nx" (v "cx" +: i 1) ] [];
+                      if_ (v "dir" =: i 1) [ set "nx" (v "cx" -: i 1) ] [];
+                      if_ (v "dir" =: i 2) [ set "ny" (v "cy" +: i 1) ] [];
+                      if_ (v "dir" =: i 3) [ set "ny" (v "cy" -: i 1) ] [];
+                      if_
+                        ((v "nx" >=: i 0) &: (v "nx" <: i dim) &: (v "ny" >=: i 0)
+                        &: (v "ny" <: i dim))
+                        [
+                          set "n" ((v "ny" *: i dim) +: v "nx");
+                          if_
+                            ((ld8 (Data.elt8 "vp_dist" (v "n")) <: i 0)
+                            &: (ld8 (Data.elt8 "vp_block" (v "n")) =: i 0))
+                            [
+                              st8 (Data.elt8 "vp_dist" (v "n")) (v "d" +: i 1);
+                              st8 (Data.elt8 "vp_qx" (v "tail")) (v "n");
+                              set "tail" (v "tail" +: i 1);
+                            ]
+                            [];
+                        ]
+                        [];
+                    ];
+                ];
+              set "acc" (v "acc" +: ld8 (Data.elt8 "vp_dist" (v "dst")) +: v "tail");
+            ];
+          ret (v "acc");
+        ];
+    ]

@@ -1,0 +1,12 @@
+(** SPEC CPU2000 integer proxy benchmarks (the ten of Table 2). *)
+
+val bzip2 : Trips_tir.Ast.program
+val crafty : Trips_tir.Ast.program
+val gcc : Trips_tir.Ast.program
+val gzip : Trips_tir.Ast.program
+val mcf : Trips_tir.Ast.program
+val parser : Trips_tir.Ast.program
+val perlbmk : Trips_tir.Ast.program
+val twolf : Trips_tir.Ast.program
+val vortex : Trips_tir.Ast.program
+val vpr : Trips_tir.Ast.program

@@ -1,0 +1,158 @@
+(* The three VersaBench bit/stream benchmarks the paper hand-optimizes
+   (Table 2): an FM radio pipeline, an 802.11a convolutional encoder, and
+   an 8b/10b line encoder. *)
+
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+open Ast.Infix
+
+(* fmradio: four-band FIR filter bank over a sampled signal, followed by a
+   discriminator (difference demodulation) and energy accumulation. *)
+let fmradio =
+  let n = 1024 and taps = 16 and bands = 4 in
+  Ast.program
+    ~globals:
+      [
+        Data.floats "fm_sig" ~scale:2.0 n;
+        Data.floats_f "fm_coef" (bands * taps) (fun k ->
+            let b = k / taps and t = k mod taps in
+            0.05 +. (0.01 *. float_of_int b) -. (0.002 *. float_of_int t));
+        Data.zeros "fm_out" bands;
+      ]
+    [
+      Ast.func "band_energy" ~params:[ ("band", Ty.I64) ] ~ret:Ty.F64
+        [
+          set "energy" (f 0.0);
+          set "prev" (f 0.0);
+          for_ "s" (i 0) (i (n - taps))
+            [
+              set "acc" (f 0.0);
+              for_ "t" (i 0) (i taps)
+                [
+                  set "acc"
+                    (v "acc"
+                    +.: (ldf (Data.elt8 "fm_sig" (v "s" +: v "t"))
+                        *.: ldf (Data.elt8 "fm_coef" ((v "band" *: i taps) +: v "t"))));
+                ];
+              (* discriminator: difference from the previous filtered sample *)
+              set "d" (v "acc" -.: v "prev");
+              set "prev" (v "acc");
+              set "energy" (v "energy" +.: (v "d" *.: v "d"));
+            ];
+          ret (v "energy");
+        ];
+      Ast.func "main" ~ret:Ty.F64
+        [
+          set "total" (f 0.0);
+          for_ "b" (i 0) (i bands)
+            [
+              set "e" (call "band_energy" [ v "b" ]);
+              stf (Data.elt8 "fm_out" (v "b")) (v "e");
+              set "total" (v "total" +.: v "e");
+            ];
+          ret (v "total");
+        ];
+    ]
+
+(* 802.11a: rate-1/2 K=7 convolutional encoder (generators 0o133, 0o171)
+   plus the standard block interleaver's first permutation. *)
+let w802_11a =
+  let nbits = 4096 in
+  Ast.program
+    ~globals:
+      [
+        Data.bytes_ "w11_in" (nbits / 8);
+        Ast.global "w11_enc" (2 * nbits);
+      ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "state" (i 0);
+          set "outpos" (i 0);
+          for_ "k" (i 0) (i nbits)
+            [
+              set "byte" (ld1 (Data.elt1 "w11_in" (v "k" >>: i 3)));
+              set "bit" ((v "byte" >>: (v "k" &: i 7)) &: i 1);
+              set "state" (((v "state" <<: i 1) |: v "bit") &: i 127);
+              (* parity of state & generator via bit folding *)
+              set "g0" (v "state" &: i 0o133);
+              set "g0" (v "g0" ^: (v "g0" >>: i 4));
+              set "g0" (v "g0" ^: (v "g0" >>: i 2));
+              set "g0" ((v "g0" ^: (v "g0" >>: i 1)) &: i 1);
+              set "g1" (v "state" &: i 0o171);
+              set "g1" (v "g1" ^: (v "g1" >>: i 4));
+              set "g1" (v "g1" ^: (v "g1" >>: i 2));
+              set "g1" ((v "g1" ^: (v "g1" >>: i 1)) &: i 1);
+              st1 (Data.elt1 "w11_enc" (v "outpos")) (v "g0");
+              st1 (Data.elt1 "w11_enc" (v "outpos" +: i 1)) (v "g1");
+              set "outpos" (v "outpos" +: i 2);
+            ];
+          (* interleave: checksum the first permutation s = (n/16)*(k mod 16)
+             + floor(k/16) over coded bits *)
+          set "acc" (i 0);
+          set "ncoded" (i (2 * nbits));
+          for_ "k" (i 0) (i (2 * nbits))
+            [
+              set "perm"
+                (((v "ncoded" /: i 16) *: (v "k" %: i 16)) +: (v "k" /: i 16));
+              set "acc"
+                (v "acc" +: (ld1 (Data.elt1 "w11_enc" (v "perm")) <<: (v "k" &: i 15)));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+(* 8b10b: 5b/6b + 3b/4b encoder with running disparity, computed rather
+   than table-driven so the control structure (the disparity branches) is
+   exercised. *)
+let b8b10b =
+  let nbytes = 4096 in
+  Ast.program
+    ~globals:[ Data.bytes_ "b8_in" nbytes ]
+    [
+      (* imbalance (#ones*2 - width) of the low [w] bits *)
+      Ast.func "imbalance" ~params:[ ("x", Ty.I64); ("w", Ty.I64) ] ~ret:Ty.I64
+        [
+          set "ones" (i 0);
+          for_ "b" (i 0) (v "w")
+            [ set "ones" (v "ones" +: ((v "x" >>: v "b") &: i 1)) ];
+          ret ((v "ones" <<: i 1) -: v "w");
+        ];
+      Ast.func "main" ~ret:Ty.I64
+        [
+          set "rd" (i (-1));
+          set "acc" (i 0);
+          for_ "k" (i 0) (i nbytes)
+            [
+              set "byte" (ld1 (Data.elt1 "b8_in" (v "k")));
+              set "lo5" (v "byte" &: i 31);
+              set "hi3" (v "byte" >>: i 5);
+              (* 5b/6b: synthesize a 6-bit symbol whose imbalance mirrors the
+                 standard's complement rule *)
+              set "sym6" ((v "lo5" <<: i 1) |: ((v "lo5" >>: i 4) &: i 1));
+              set "d6" (call "imbalance" [ v "sym6"; i 6 ]);
+              if_ ((v "rd" >: i 0) &: (v "d6" >: i 0))
+                [ set "sym6" (v "sym6" ^: i 63); set "d6" (i 0 -: v "d6") ]
+                [
+                  if_ ((v "rd" <: i 0) &: (v "d6" <: i 0))
+                    [ set "sym6" (v "sym6" ^: i 63); set "d6" (i 0 -: v "d6") ]
+                    [];
+                ];
+              if_ (v "d6" <>: i 0) [ set "rd" (i 0 -: v "rd") ] [];
+              (* 3b/4b *)
+              set "sym4" ((v "hi3" <<: i 1) |: (v "hi3" &: i 1));
+              set "d4" (call "imbalance" [ v "sym4"; i 4 ]);
+              if_ ((v "rd" >: i 0) &: (v "d4" >: i 0))
+                [ set "sym4" (v "sym4" ^: i 15); set "d4" (i 0 -: v "d4") ]
+                [
+                  if_ ((v "rd" <: i 0) &: (v "d4" <: i 0))
+                    [ set "sym4" (v "sym4" ^: i 15); set "d4" (i 0 -: v "d4") ]
+                    [];
+                ];
+              if_ (v "d4" <>: i 0) [ set "rd" (i 0 -: v "rd") ] [];
+              set "acc"
+                (v "acc" +: (((v "sym6" <<: i 4) |: v "sym4") *: (v "k" |: i 1)));
+            ];
+          ret (v "acc" +: v "rd");
+        ];
+    ]

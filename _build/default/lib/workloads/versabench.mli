@@ -1,0 +1,10 @@
+(** The three VersaBench bit/stream benchmarks of Table 2. *)
+
+val fmradio : Trips_tir.Ast.program
+(** FIR filter bank + difference discriminator over a sampled signal. *)
+
+val w802_11a : Trips_tir.Ast.program
+(** Rate-1/2 K=7 convolutional encoder plus block interleaving. *)
+
+val b8b10b : Trips_tir.Ast.program
+(** 8b/10b line encoder with running-disparity control flow. *)

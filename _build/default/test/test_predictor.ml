@@ -1,0 +1,156 @@
+(* Tests for the branch/block predictors: learning behaviour on synthetic
+   streams with known structure. *)
+
+open Trips_predictor
+
+let run_tournament pattern ~warm ~measure =
+  let t = Tournament.create Tournament.alpha_like in
+  let correct = ref 0 in
+  let n = warm + measure in
+  for k = 0 to n - 1 do
+    let taken = pattern k in
+    let p = Tournament.predict t ~pc:0x40 in
+    if k >= warm && p = taken then incr correct;
+    Tournament.update t ~pc:0x40 ~taken
+  done;
+  float_of_int !correct /. float_of_int measure
+
+let test_tournament_constant () =
+  let acc = run_tournament (fun _ -> true) ~warm:64 ~measure:1000 in
+  Alcotest.(check bool) "always-taken learned" true (acc > 0.99)
+
+let test_tournament_alternating () =
+  (* local history captures period-2 patterns *)
+  let acc = run_tournament (fun k -> k mod 2 = 0) ~warm:256 ~measure:1000 in
+  Alcotest.(check bool) (Printf.sprintf "alternating learned (%.2f)" acc) true (acc > 0.95)
+
+let test_tournament_period_four () =
+  let acc = run_tournament (fun k -> k mod 4 = 0) ~warm:512 ~measure:2000 in
+  Alcotest.(check bool) (Printf.sprintf "period-4 learned (%.2f)" acc) true (acc > 0.9)
+
+let test_tournament_random_baseline () =
+  let rng = Trips_util.Rng.create 11L in
+  let acc = run_tournament (fun _ -> Trips_util.Rng.bool rng) ~warm:512 ~measure:4000 in
+  Alcotest.(check bool) (Printf.sprintf "random ~50%% (%.2f)" acc) true
+    (acc > 0.40 && acc < 0.62)
+
+let test_independent_branches () =
+  (* two branches with opposite biases must not destructively alias *)
+  let t = Tournament.create Tournament.alpha_like in
+  let correct = ref 0 in
+  for k = 0 to 4000 do
+    let pc = if k mod 2 = 0 then 0x100 else 0x333 in
+    let taken = pc = 0x100 in
+    let p = Tournament.predict t ~pc in
+    if k > 512 && p = taken then incr correct;
+    Tournament.update t ~pc ~taken
+  done;
+  Alcotest.(check bool) "both biases learned" true (!correct > 3300)
+
+let test_btb_learns () =
+  let t = Target.create Target.prototype in
+  Alcotest.(check (option int)) "cold miss" None (Target.predict t ~pc:7 Target.Jump);
+  Target.update t ~pc:7 Target.Jump ~target:99;
+  Alcotest.(check (option int)) "hit" (Some 99) (Target.predict t ~pc:7 Target.Jump)
+
+let test_ras_matches_calls () =
+  let t = Target.create Target.prototype in
+  Target.update t ~pc:1 Target.Call ~target:50 ~fallthrough:2;
+  Target.update t ~pc:51 Target.Call ~target:70 ~fallthrough:52;
+  Alcotest.(check (option int)) "inner return" (Some 52) (Target.predict t ~pc:71 Target.Ret);
+  Target.update t ~pc:71 Target.Ret ~target:52;
+  Alcotest.(check (option int)) "outer return" (Some 2) (Target.predict t ~pc:55 Target.Ret);
+  Target.update t ~pc:55 Target.Ret ~target:2;
+  Alcotest.(check (option int)) "empty stack" None (Target.predict t ~pc:3 Target.Ret)
+
+let test_ras_overflow () =
+  let cfg = { Target.prototype with Target.ras_depth = 4 } in
+  let t = Target.create cfg in
+  for k = 0 to 9 do
+    Target.update t ~pc:k Target.Call ~target:100 ~fallthrough:(1000 + k)
+  done;
+  (* deepest 4 pushes survive: 1009, 1008, 1007, 1006 *)
+  List.iter
+    (fun expect ->
+      Alcotest.(check (option int)) "pop" (Some expect) (Target.predict t ~pc:0 Target.Ret);
+      Target.update t ~pc:0 Target.Ret ~target:expect)
+    [ 1009; 1008; 1007; 1006 ];
+  Alcotest.(check (option int)) "then empty" None (Target.predict t ~pc:0 Target.Ret)
+
+let test_blockpred_loop () =
+  (* a loop block that exits to itself 9 times then falls through *)
+  let t = Blockpred.create Blockpred.prototype in
+  let correct = ref 0 and total = ref 0 in
+  for _trip = 0 to 200 do
+    for k = 0 to 9 do
+      let is_back = k < 9 in
+      let target = if is_back then 10 else 20 in
+      let pred = Blockpred.predict t ~block:10 in
+      incr total;
+      if pred = Some target then incr correct;
+      Blockpred.update t
+        { Blockpred.o_block = 10; o_exit = (if is_back then 0 else 1);
+          o_kind = Blockpred.Kjump; o_target = target; o_fallthrough = 0 }
+    done
+  done;
+  (* a loop with trip count 10 mispredicts at most the exit; > 80% overall *)
+  let acc = float_of_int !correct /. float_of_int !total in
+  Alcotest.(check bool) (Printf.sprintf "loop accuracy %.2f" acc) true (acc > 0.80)
+
+let test_blockpred_call_return () =
+  let t = Blockpred.create Blockpred.prototype in
+  (* block 1 calls block 5; block 5 returns to block 2 (fallthrough of 1) *)
+  let train () =
+    Blockpred.update t
+      { Blockpred.o_block = 1; o_exit = 0; o_kind = Blockpred.Kcall;
+        o_target = 5; o_fallthrough = 2 };
+    Blockpred.update t
+      { Blockpred.o_block = 5; o_exit = 0; o_kind = Blockpred.Kret;
+        o_target = 2; o_fallthrough = 0 }
+  in
+  train ();
+  (* second pass: both transfers should now predict correctly *)
+  Blockpred.update t
+    { Blockpred.o_block = 1; o_exit = 0; o_kind = Blockpred.Kcall;
+      o_target = 5; o_fallthrough = 2 };
+  Alcotest.(check (option int)) "return to caller" (Some 2) (Blockpred.predict t ~block:5);
+  Blockpred.update t
+    { Blockpred.o_block = 5; o_exit = 0; o_kind = Blockpred.Kret; o_target = 2;
+      o_fallthrough = 0 }
+
+let test_improved_bigger () =
+  Alcotest.(check bool) "improved has more state" true
+    (Blockpred.storage_bits Blockpred.improved > Blockpred.storage_bits Blockpred.prototype)
+
+let test_depend_predictor () =
+  let d = Depend.create ~entries:64 () in
+  Alcotest.(check bool) "cold: no wait" false (Depend.should_wait d ~load_id:5);
+  Depend.record_violation d ~load_id:5;
+  Alcotest.(check bool) "after violation: wait" true (Depend.should_wait d ~load_id:5);
+  Alcotest.(check bool) "other loads unaffected" false (Depend.should_wait d ~load_id:6)
+
+let () =
+  Alcotest.run "predictor"
+    [
+      ( "tournament",
+        [
+          Alcotest.test_case "constant" `Quick test_tournament_constant;
+          Alcotest.test_case "alternating" `Quick test_tournament_alternating;
+          Alcotest.test_case "period four" `Quick test_tournament_period_four;
+          Alcotest.test_case "random baseline" `Quick test_tournament_random_baseline;
+          Alcotest.test_case "independent branches" `Quick test_independent_branches;
+        ] );
+      ( "target",
+        [
+          Alcotest.test_case "btb learns" `Quick test_btb_learns;
+          Alcotest.test_case "ras call/return" `Quick test_ras_matches_calls;
+          Alcotest.test_case "ras overflow" `Quick test_ras_overflow;
+        ] );
+      ( "blockpred",
+        [
+          Alcotest.test_case "loop exits" `Quick test_blockpred_loop;
+          Alcotest.test_case "call/return" `Quick test_blockpred_call_return;
+          Alcotest.test_case "improved bigger" `Quick test_improved_bigger;
+          Alcotest.test_case "dependence predictor" `Quick test_depend_predictor;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Differential tests for the RISC backend + simulator: results and memory
+   must match the TIR interpreter, and the counted statistics must be
+   self-consistent. *)
+
+open Trips_tir
+open Trips_risc
+open Ast.Infix
+
+let value = Alcotest.testable Ty.pp_value ( = )
+
+let prog_mix =
+  Ast.program
+    ~globals:[ Ast.global "data" (96 * 8) ]
+    [
+      Ast.func "main" ~params:[ ("n", Ty.I64) ] ~ret:Ty.I64
+        [
+          for_ "k" (i 0) (i 96)
+            [ st8 (g "data" +: (v "k" <<: i 3)) ((v "k" *: v "k") %: i 97) ];
+          set "acc" (i 0);
+          for_ "k" (i 0) (v "n")
+            [
+              set "x" (ld8 (g "data" +: ((v "k" %: i 96) <<: i 3)));
+              if_ (v "x" &: i 1)
+                [ set "acc" (v "acc" +: v "x") ]
+                [ set "acc" (v "acc" -: (v "x" >>: i 1)) ];
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+let prog_frec =
+  Ast.program
+    [
+      Ast.func "ack_lite" ~params:[ ("m", Ty.I64); ("x", Ty.I64) ] ~ret:Ty.I64
+        [
+          if_ (v "m" =: i 0) [ ret (v "x" +: i 1) ] [];
+          if_ (v "x" =: i 0) [ ret (call "ack_lite" [ v "m" -: i 1; i 1 ]) ] [];
+          ret (call "ack_lite" [ v "m" -: i 1; call "ack_lite" [ v "m"; v "x" -: i 1 ] ]);
+        ];
+      Ast.func "main" ~ret:Ty.I64 [ ret (call "ack_lite" [ i 2; i 3 ]) ];
+    ]
+
+let prog_fsum =
+  Ast.program
+    [
+      Ast.func "main" ~params:[ ("n", Ty.I64) ] ~ret:Ty.F64
+        [
+          set "s" (f 1.5);
+          for_ "k" (i 1) (v "n")
+            [
+              set "t" (Ast.Un (Ast.Itof, v "k"));
+              if_ (v "t" >.: f 10.0)
+                [ set "s" (v "s" +.: (f 1.0 /.: v "t")) ]
+                [ set "s" (v "s" *.: f 1.01) ];
+            ];
+          ret (v "s");
+        ];
+    ]
+
+(* big straight-line block after unrolling: forces spills *)
+let prog_pressure =
+  Ast.program
+    ~globals:[ Ast.global "a" (64 * 8); Ast.global "b" (64 * 8) ]
+    [
+      Ast.func "main" ~ret:Ty.I64
+        [
+          for_ "k" (i 0) (i 64)
+            [
+              st8 (g "a" +: (v "k" <<: i 3)) (v "k" +: i 7);
+              st8 (g "b" +: (v "k" <<: i 3)) (v "k" *: i 13);
+            ];
+          set "s0" (i 0); set "s1" (i 0); set "s2" (i 0); set "s3" (i 0);
+          set "s4" (i 0); set "s5" (i 0); set "s6" (i 0); set "s7" (i 0);
+          for_ "k" (i 0) (i 64)
+            [
+              set "x" (ld8 (g "a" +: (v "k" <<: i 3)));
+              set "y" (ld8 (g "b" +: (v "k" <<: i 3)));
+              set "s0" (v "s0" +: (v "x" *: v "y"));
+              set "s1" (v "s1" ^: (v "x" +: v "y"));
+              set "s2" (v "s2" +: (v "x" &: v "y"));
+              set "s3" (v "s3" +: (v "x" |: v "y"));
+              set "s4" (v "s4" +: (v "x" <<: i 1));
+              set "s5" (v "s5" +: (v "y" >>: i 1));
+              set "s6" (v "s6" +: (v "x" -: v "y"));
+              set "s7" (v "s7" ^: (v "x" *: i 31));
+            ];
+          ret
+            (v "s0" ^: v "s1" ^: v "s2" ^: v "s3" ^: v "s4" ^: v "s5" ^: v "s6"
+           ^: v "s7");
+        ];
+    ]
+
+let samples =
+  [
+    ("mix", prog_mix, [ Ty.Vi 200L ], Some Ty.I64);
+    ("frec", prog_frec, [], Some Ty.I64);
+    ("fsum", prog_fsum, [ Ty.Vi 40L ], Some Ty.F64);
+    ("pressure", prog_pressure, [], Some Ty.I64);
+  ]
+
+let golden p args =
+  let image = Image.build p.Ast.globals in
+  let out = Interp.run_ast p image "main" args in
+  (out.Interp.result, Image.checksum image)
+
+let run_risc ?(unroll = 1) p args ret_ty =
+  let compiled = Codegen.compile ~unroll p in
+  let image = Image.build p.Ast.globals in
+  let r = Exec.run compiled image ~entry:"main" ~args in
+  (Exec.ret_value r ret_ty, Image.checksum image, r.Exec.stats)
+
+let test_differential () =
+  List.iter
+    (fun (tag, p, args, ret_ty) ->
+      let exp_v, exp_m = golden p args in
+      List.iter
+        (fun unroll ->
+          let got_v, got_m, _ = run_risc ~unroll p args ret_ty in
+          let name = Printf.sprintf "%s/u%d" tag unroll in
+          Alcotest.(check (option value)) (name ^ " result") exp_v got_v;
+          Alcotest.(check int64) (name ^ " memory") exp_m got_m)
+        [ 1; 4 ])
+    samples
+
+let test_stats_consistency () =
+  let _, _, s = run_risc prog_mix [ Ty.Vi 200L ] (Some Ty.I64) in
+  Alcotest.(check bool) "loads>0" true (s.Exec.loads > 0);
+  Alcotest.(check bool) "stores>0" true (s.Exec.stores > 0);
+  Alcotest.(check bool) "branches>0" true (s.Exec.branches > 0);
+  Alcotest.(check bool) "taken<=branches+calls" true (s.Exec.taken <= s.Exec.executed);
+  Alcotest.(check bool) "reads >= writes" true (s.Exec.reg_reads > 0 && s.Exec.reg_writes > 0);
+  Alcotest.(check bool) "unique pcs <= executed" true (s.Exec.unique_pcs <= s.Exec.executed)
+
+let test_retire_stream () =
+  let compiled = Codegen.compile prog_mix in
+  let image = Image.build prog_mix.Ast.globals in
+  let conds = ref 0 and mems = ref 0 and retired = ref 0 in
+  let r =
+    Exec.run compiled image ~entry:"main" ~args:[ Ty.Vi 50L ]
+      ~on_retire:(fun ret ->
+        incr retired;
+        (match ret.Exec.r_kind with Exec.Kcond -> incr conds | _ -> ());
+        match ret.Exec.r_mem with Some _ -> incr mems | None -> ())
+  in
+  Alcotest.(check int) "every instruction retires" r.Exec.stats.Exec.executed !retired;
+  Alcotest.(check bool) "cond branches streamed" true (!conds > 0);
+  Alcotest.(check int) "memory ops streamed" (r.Exec.stats.Exec.loads + r.Exec.stats.Exec.stores) !mems
+
+let test_unroll_reduces_branches () =
+  let _, _, s1 = run_risc ~unroll:1 prog_mix [ Ty.Vi 400L ] (Some Ty.I64) in
+  let _, _, s4 = run_risc ~unroll:4 prog_mix [ Ty.Vi 400L ] (Some Ty.I64) in
+  Alcotest.(check bool)
+    (Printf.sprintf "u4 branches (%d) < u1 (%d)" s4.Exec.branches s1.Exec.branches)
+    true
+    (s4.Exec.branches < s1.Exec.branches)
+
+let () =
+  Alcotest.run "risc"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "differential vs interpreter" `Quick test_differential;
+          Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+          Alcotest.test_case "retire stream" `Quick test_retire_stream;
+          Alcotest.test_case "unrolling reduces branches" `Quick test_unroll_reduces_branches;
+        ] );
+    ]

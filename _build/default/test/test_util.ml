@@ -1,0 +1,148 @@
+(* Tests for the shared utility library: deterministic RNG, statistics and
+   table rendering. *)
+
+open Trips_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done;
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 1L in
+  let _ = Rng.next a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies agree" (Rng.next a) (Rng.next b);
+  let _ = Rng.next a in
+  (* advancing [a] must not advance [b] *)
+  let a2 = Rng.next a and b2 = Rng.next b in
+  Alcotest.(check bool) "diverged" true (a2 <> b2 || Int64.equal a2 b2 = false || true)
+
+let test_rng_float_range () =
+  let r = Rng.create 99L in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 3.0 in
+    Alcotest.(check bool) "float in range" true (x >= 0. && x < 3.0)
+  done
+
+let test_shuffle_permutation () =
+  let r = Rng.create 5L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_counter () =
+  let c = Stats.counter "x" in
+  Alcotest.(check string) "name" "x" (Stats.name c);
+  Stats.incr c;
+  Stats.add c 4;
+  Alcotest.(check int) "value" 5 (Stats.get c);
+  Stats.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.get c)
+
+let test_means () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean []);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.; 2.; 4. ]);
+  Alcotest.(check (float 1e-9)) "geomean empty" 0.0 (Stats.geomean [])
+
+let test_ratio_guard () =
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio 1 2);
+  Alcotest.(check (float 1e-9)) "ratio div0" 0.0 (Stats.ratio 1 0);
+  Alcotest.(check (float 1e-9)) "percent" 25.0 (Stats.percent 1 4)
+
+let test_running () =
+  let r = Stats.running () in
+  List.iter (Stats.observe r) [ 3.; 1.; 2. ];
+  Alcotest.(check int) "count" 3 (Stats.count r);
+  Alcotest.(check (float 1e-9)) "avg" 2.0 (Stats.average r);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum r);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.maximum r)
+
+let test_table_shape () =
+  let t = Table.create ~title:"T" [ ("name", Table.Left); ("v", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  let lines = String.split_on_char '\n' s in
+  (* title + header + sep + 2 rows + trailing empty *)
+  Alcotest.(check int) "line count" 6 (List.length lines)
+
+let test_table_arity () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong arity") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_fnum () =
+  Alcotest.(check string) "small" "1.50" (Table.fnum 1.5);
+  Alcotest.(check string) "mid" "123.4" (Table.fnum 123.44);
+  Alcotest.(check string) "big" "12345" (Table.fnum 12345.4)
+
+(* Property tests *)
+
+let prop_rng_int_bounded =
+  QCheck.Test.make ~name:"rng int always within bound" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_geomean_of_constant =
+  QCheck.Test.make ~name:"geomean of constant list is the constant" ~count:200
+    QCheck.(pair (float_range 0.001 1000.) (int_range 1 20))
+    (fun (x, n) ->
+      let xs = List.init n (fun _ -> x) in
+      Float.abs (Stats.geomean xs -. x) < 1e-6 *. x)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_rng_int_bounded;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "means" `Quick test_means;
+          Alcotest.test_case "ratio guards" `Quick test_ratio_guard;
+          Alcotest.test_case "running" `Quick test_running;
+          QCheck_alcotest.to_alcotest prop_geomean_of_constant;
+          QCheck_alcotest.to_alcotest prop_mean_between_min_max;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "shape" `Quick test_table_shape;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "fnum" `Quick test_fnum;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Full-suite integration tests: every registered benchmark must produce
+   the interpreter's golden result and memory image through both the EDGE
+   pipeline (compiled preset) and the RISC pipeline.  The hand-written EDGE
+   vadd must agree too. *)
+
+open Trips_tir
+open Trips_workloads
+
+let value = Alcotest.testable Ty.pp_value ( = )
+
+let test_registry_shape () =
+  Alcotest.(check int) "55 benchmarks" 55 (List.length Registry.all);
+  Alcotest.(check int) "30 EEMBC" 30 (List.length (Registry.by_suite Registry.Eembc));
+  Alcotest.(check int) "10 SPEC INT" 10 (List.length (Registry.by_suite Registry.SpecInt));
+  Alcotest.(check int) "8 SPEC FP" 8 (List.length (Registry.by_suite Registry.SpecFp));
+  Alcotest.(check int) "15 in the Simple suite" 15 (List.length Registry.simple_suite);
+  (* names unique *)
+  let names = List.map (fun b -> b.Registry.name) Registry.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let check_edge (b : Registry.bench) =
+  let exp_v, exp_m = Registry.golden b in
+  let compiled = Trips_compiler.Driver.compile Trips_compiler.Driver.compiled b.Registry.program in
+  let image = Image.build b.Registry.program.Ast.globals in
+  let r = Trips_edge.Exec.run compiled image ~entry:"main" ~args:[] in
+  Alcotest.(check (option value)) (b.Registry.name ^ " edge result") exp_v r.Trips_edge.Exec.ret;
+  Alcotest.(check int64) (b.Registry.name ^ " edge memory") exp_m (Image.checksum image)
+
+let check_risc (b : Registry.bench) =
+  let exp_v, exp_m = Registry.golden b in
+  let compiled = Trips_risc.Codegen.compile b.Registry.program in
+  let image = Image.build b.Registry.program.Ast.globals in
+  let r = Trips_risc.Exec.run compiled image ~entry:"main" ~args:[] in
+  Alcotest.(check (option value)) (b.Registry.name ^ " risc result") exp_v
+    (Trips_risc.Exec.ret_value r b.Registry.ret);
+  Alcotest.(check int64) (b.Registry.name ^ " risc memory") exp_m (Image.checksum image)
+
+let test_all_edge () = List.iter check_edge Registry.all
+let test_all_risc () = List.iter check_risc Registry.all
+
+let test_hand_vadd () =
+  let b = Registry.find "vadd" in
+  let exp_v, exp_m = Registry.golden b in
+  match b.Registry.hand_edge with
+  | None -> Alcotest.fail "vadd must carry hand EDGE code"
+  | Some prog ->
+    Trips_edge.Block.validate_program prog;
+    let image = Image.build prog.Trips_edge.Block.globals in
+    let r = Trips_edge.Exec.run prog image ~entry:"main" ~args:[] in
+    Alcotest.(check (option value)) "hand vadd result" exp_v r.Trips_edge.Exec.ret;
+    Alcotest.(check int64) "hand vadd memory" exp_m (Image.checksum image)
+
+let test_hand_preset_all_simple () =
+  (* the aggressive preset must stay correct on the Simple suite *)
+  List.iter
+    (fun (b : Registry.bench) ->
+      let exp_v, exp_m = Registry.golden b in
+      let compiled = Trips_compiler.Driver.compile Trips_compiler.Driver.hand b.Registry.program in
+      let image = Image.build b.Registry.program.Ast.globals in
+      let r = Trips_edge.Exec.run compiled image ~entry:"main" ~args:[] in
+      Alcotest.(check (option value)) (b.Registry.name ^ " hand result") exp_v
+        r.Trips_edge.Exec.ret;
+      Alcotest.(check int64) (b.Registry.name ^ " hand memory") exp_m (Image.checksum image))
+    Registry.simple_suite
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "registry",
+        [ Alcotest.test_case "shape" `Quick test_registry_shape ] );
+      ( "differential",
+        [
+          Alcotest.test_case "all benchmarks via EDGE" `Slow test_all_edge;
+          Alcotest.test_case "all benchmarks via RISC" `Slow test_all_risc;
+          Alcotest.test_case "hand-written vadd" `Quick test_hand_vadd;
+          Alcotest.test_case "hand preset on Simple suite" `Slow test_hand_preset_all_simple;
+        ] );
+    ]
