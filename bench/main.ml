@@ -3,11 +3,18 @@
    experiment over the simulator primitive that dominates it.
 
    Usage:
-     bench/main.exe                 -- all experiments + micro-benchmarks
+     bench/main.exe                 -- experiments + engine comparison + micro
      bench/main.exe fig3 fig11      -- just those experiments
-     bench/main.exe --no-micro      -- skip the Bechamel suite *)
+     bench/main.exe --no-micro      -- skip the Bechamel suite
+     bench/main.exe --no-engine     -- skip the parallel-engine comparison
+
+   The engine phase re-runs the selected experiments under the Domain pool
+   (cold memo tables, 4 workers), checks the rendered tables are
+   byte-identical to the sequential pass, and writes BENCH_engine.json. *)
 
 open Trips_harness
+module Engine = Trips_engine.Engine
+module Json = Trips_util.Json
 
 let run_experiment (e : Experiments.experiment) =
   Printf.printf "\n=== %s: %s ===\n" e.Experiments.id e.Experiments.title;
@@ -16,7 +23,76 @@ let run_experiment (e : Experiments.experiment) =
   let table = e.Experiments.run () in
   let dt = Unix.gettimeofday () -. t0 in
   Trips_util.Table.print table;
-  Printf.printf "(generated in %.1fs)\n%!" dt
+  Printf.printf "(generated in %.1fs)\n%!" dt;
+  (e.Experiments.id, Trips_util.Table.render table, dt)
+
+(* ------------------------------------------------------------------ *)
+(* Engine comparison: sequential vs parallel wall-clock                 *)
+(* ------------------------------------------------------------------ *)
+
+let engine_jobs = 4
+
+let run_engine_comparison experiments sequential =
+  let seq_s =
+    List.fold_left (fun acc (_, _, dt) -> acc +. dt) 0. sequential
+  in
+  Printf.printf
+    "\n=== engine: re-running %d experiment(s) under %d worker domains ===\n%!"
+    (List.length experiments) engine_jobs;
+  (* cold memo tables, else the parallel pass would measure nothing *)
+  Platforms.clear_caches ();
+  let report =
+    Engine.run ~workers:engine_jobs (List.map Experiments.to_job experiments)
+  in
+  let identical =
+    List.for_all2
+      (fun (id, rendered, _) (r : Engine.job_report) ->
+        match r.Engine.outcome with
+        | Engine.Finished table ->
+          let same = Trips_util.Table.render table = rendered in
+          if not same then
+            Printf.printf "!!! %s: parallel run differs from sequential\n" id;
+          same
+        | Engine.Failed { error; _ } ->
+          Printf.printf "!!! %s: failed under the engine: %s\n" id error;
+          false)
+      sequential report.Engine.job_reports
+  in
+  let json =
+    Json.Obj
+      [
+        ("jobs", Json.Int engine_jobs);
+        ("experiments", Json.Int (List.length experiments));
+        ("sequential_s", Json.Float seq_s);
+        ("parallel_s", Json.Float report.Engine.wall_s);
+        ( "speedup",
+          Json.Float
+            (if report.Engine.wall_s > 0. then seq_s /. report.Engine.wall_s
+             else 0.) );
+        ("identical", Json.Bool identical);
+        ("worker_utilization", Json.Float (Engine.utilization report));
+        ( "per_experiment",
+          Json.List
+            (List.map2
+               (fun (id, _, dt) (r : Engine.job_report) ->
+                 Json.Obj
+                   [
+                     ("id", Json.Str id);
+                     ("sequential_s", Json.Float dt);
+                     ("parallel_work_s", Json.Float r.Engine.work_s);
+                   ])
+               sequential report.Engine.job_reports) );
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf
+    "engine: sequential %.1fs, parallel %.1fs (x%.2f), tables %s -> BENCH_engine.json\n%!"
+    seq_s report.Engine.wall_s
+    (if report.Engine.wall_s > 0. then seq_s /. report.Engine.wall_s else 0.)
+    (if identical then "byte-identical" else "DIFFER");
+  identical
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                     *)
@@ -110,7 +186,8 @@ let run_micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_micro = List.mem "--no-micro" args in
-  let ids = List.filter (fun a -> a <> "--no-micro") args in
+  let no_engine = List.mem "--no-engine" args in
+  let ids = List.filter (fun a -> a <> "--no-micro" && a <> "--no-engine") args in
   let experiments =
     match ids with
     | [] -> Experiments.all
@@ -120,5 +197,9 @@ let () =
     "TRIPS evaluation reproduction -- %d experiment(s); see EXPERIMENTS.md for the \
      paper-vs-measured record.\n"
     (List.length experiments);
-  List.iter run_experiment experiments;
-  if not no_micro then run_micro ()
+  let sequential = List.map run_experiment experiments in
+  let identical =
+    if no_engine then true else run_engine_comparison experiments sequential
+  in
+  if not no_micro then run_micro ();
+  if not identical then exit 1

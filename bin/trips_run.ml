@@ -1,5 +1,8 @@
 (* Command-line driver for the TRIPS reproduction.
 
+     trips_run --all --jobs 4 --out _results          -- engine sweep
+     trips_run --id table1 --id fig9 --format json    -- selected experiments
+     trips_run --all --cache-dir _results/cache       -- cached re-run
      trips_run list                         -- registered benchmarks
      trips_run run fft --preset H --sim cycle
      trips_run exp fig9                     -- one table/figure
@@ -136,7 +139,129 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ bench_arg $ preset_arg)
 
+(* -- default: the parallel experiment engine -------------------------- *)
+
+module Engine = Trips_engine.Engine
+module Artifacts = Trips_engine.Artifacts
+module Result_cache = Trips_engine.Result_cache
+
+let engine_main all ids jobs cache_dir out format =
+  if (not all) && ids = [] then
+    `Help (`Auto, None)
+  else begin
+    try
+    let format =
+      match Artifacts.format_of_string format with
+      | Some f -> f
+      | None -> invalid_arg ("unknown format " ^ format ^ " (ascii|json|csv)")
+    in
+    let experiments =
+      if all then Experiments.all
+      else
+        List.map
+          (fun id ->
+            match Experiments.find_opt id with
+            | Some e -> e
+            | None -> invalid_arg ("unknown experiment id " ^ id))
+          ids
+    in
+    let cache = Option.map Result_cache.open_ cache_dir in
+    let report =
+      Engine.run ~workers:jobs ?cache (List.map Experiments.to_job experiments)
+    in
+    (* tables to stdout in the requested format, in registry order *)
+    List.iter2
+      (fun (e : Experiments.experiment) (r : Engine.job_report) ->
+        match r.Engine.outcome with
+        | Engine.Finished table ->
+          if format = Artifacts.Ascii then
+            Printf.printf "=== %s: %s ===\n%s\n" e.Experiments.id
+              e.Experiments.title
+              (Artifacts.render format table)
+          else print_string (Artifacts.render format table)
+        | Engine.Failed { attempts; error } ->
+          Printf.eprintf "%s: FAILED after %d attempt(s): %s\n"
+            e.Experiments.id attempts error)
+      experiments report.Engine.job_reports;
+    (* run summary on stderr so json/csv stdout stays machine-readable *)
+    Printf.eprintf
+      "engine: %d job(s), %d worker(s), %.2fs wall, %d cache hit(s), %d miss(es), \
+       %.0f%% worker utilization\n"
+      (List.length report.Engine.job_reports)
+      report.Engine.workers report.Engine.wall_s report.Engine.cache_hits
+      report.Engine.cache_misses
+      (100. *. Engine.utilization report);
+    List.iter
+      (fun (r : Engine.job_report) ->
+        Printf.eprintf "  %-10s %7.2fs %s\n" r.Engine.job_id r.Engine.work_s
+          (if r.Engine.cache_hit then "cached"
+           else
+             match r.Engine.outcome with
+             | Engine.Finished _ -> "computed"
+             | Engine.Failed _ -> "FAILED"))
+      report.Engine.job_reports;
+    (match out with
+    | Some dir ->
+      let manifest =
+        Artifacts.write_run ~dir ~metas:(List.map Experiments.meta experiments)
+          ~report
+      in
+      Printf.eprintf "artifacts: %s\n" manifest
+    | None -> ());
+    let failed =
+      List.exists
+        (fun (r : Engine.job_report) ->
+          match r.Engine.outcome with Engine.Failed _ -> true | _ -> false)
+        report.Engine.job_reports
+    in
+    if failed then `Error (false, "one or more experiments failed") else `Ok ()
+    with
+    | Invalid_argument msg | Sys_error msg -> `Error (false, msg)
+    | Unix.Unix_error (e, fn, arg) ->
+      `Error (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+  end
+
+let default_term =
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every registered experiment.")
+  in
+  let ids =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "id" ] ~docv:"ID" ~doc:"Experiment id to run (repeatable).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the engine.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"On-disk result cache; hits skip recomputation.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write per-experiment artifacts (txt/json/csv) and manifest.json.")
+  in
+  let format =
+    Arg.(
+      value & opt string "ascii"
+      & info [ "format" ] ~docv:"ascii|json|csv" ~doc:"Stdout rendering.")
+  in
+  Term.(
+    ret (const engine_main $ all $ ids $ jobs $ cache_dir $ out $ format))
+
 let () =
   let doc = "TRIPS/EDGE reproduction driver" in
   let info = Cmd.info "trips_run" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; exp_cmd; disasm_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:default_term info
+          [ list_cmd; run_cmd; exp_cmd; disasm_cmd ]))

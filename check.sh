@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification plus an engine smoke test.
+#
+#   ./check.sh          build, run the test suites, smoke the engine CLI
+#
+# The determinism suite covers a fast experiment subset by default; set
+# TRIPS_DETERMINISM_FULL=1 to sweep the whole battery (~35 min on one
+# core).
+set -eu
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== engine smoke: trips_run --id table1 --jobs 2 --format json =="
+out=$(dune exec bin/trips_run.exe -- --id table1 --jobs 2 --format json 2>/dev/null)
+echo "$out" | grep -q '"title": "Table 1' || {
+  echo "engine smoke test failed: no JSON table on stdout" >&2
+  exit 1
+}
+echo "$out" | head -3
+
+echo "== all checks passed =="

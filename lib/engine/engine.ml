@@ -1,0 +1,177 @@
+module Table = Trips_util.Table
+
+type job = {
+  id : string;
+  cache_key : string option;
+  warm : (unit -> unit) list;
+  run : unit -> Table.t;
+  timeout_s : float;
+  retries : int;
+}
+
+let job ?cache_key ?(warm = []) ?(timeout_s = 900.) ?(retries = 1) ~id run =
+  { id; cache_key; warm; run; timeout_s; retries }
+
+type outcome =
+  | Finished of Table.t
+  | Failed of { attempts : int; error : string }
+
+type job_report = {
+  job_id : string;
+  outcome : outcome;
+  work_s : float;
+  cache_hit : bool;
+  attempts : int;
+}
+
+type report = {
+  workers : int;
+  wall_s : float;
+  cache_hits : int;
+  cache_misses : int;
+  busy_s : float array;
+  job_reports : job_report list;
+}
+
+let utilization r =
+  if r.wall_s <= 0. then 0.
+  else
+    Array.fold_left ( +. ) 0. r.busy_s
+    /. (r.wall_s *. float_of_int (Array.length r.busy_s))
+
+type task = { jix : int; work : work }
+and work = Warm of (unit -> unit) | Finalize
+
+let now = Unix.gettimeofday
+
+let describe_exn = function
+  | Failure m -> m
+  | Invalid_argument m -> "Invalid_argument: " ^ m
+  | e -> Printexc.to_string e
+
+(* One attempt loop for a job's [run].  Exceptions retry up to [retries];
+   a blown soft deadline fails without retry (domains cannot be preempted,
+   and a deterministic job that ran long once will run long again). *)
+let attempt_run (j : job) =
+  let rec go attempts =
+    let t0 = now () in
+    match j.run () with
+    | table ->
+      let dt = now () -. t0 in
+      if dt > j.timeout_s then
+        ( Failed
+            {
+              attempts;
+              error =
+                Printf.sprintf "timeout: attempt took %.1fs (budget %.1fs)" dt
+                  j.timeout_s;
+            },
+          attempts )
+      else (Finished table, attempts)
+    | exception e ->
+      if attempts <= j.retries then go (attempts + 1)
+      else (Failed { attempts; error = describe_exn e }, attempts)
+  in
+  go 1
+
+let run ?(workers = 4) ?(queue_capacity = 64) ?cache jobs =
+  let workers = max 1 workers in
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let t_start = now () in
+  let lock = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref n in
+  (* outcome, cache_hit, attempts; job_reports are assembled after the pool
+     drains so work_s includes the recording task's own duration *)
+  let slots : (outcome * bool * int) option array = Array.make n None in
+  let pending_warm = Array.map (fun j -> List.length j.warm) jobs in
+  let work_s = Array.make n 0. in
+  let busy_s = Array.make workers 0. in
+  let cache_hits = ref 0 and cache_misses = ref 0 in
+  let q : task Workq.t = Workq.create ~capacity:queue_capacity in
+  let record jix outcome ~cache_hit ~attempts =
+    Mutex.lock lock;
+    slots.(jix) <- Some (outcome, cache_hit, attempts);
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast all_done;
+    Mutex.unlock lock
+  in
+  let finalize jix =
+    let j = jobs.(jix) in
+    let outcome, attempts = attempt_run j in
+    (match (outcome, cache, j.cache_key) with
+    | Finished table, Some c, Some key -> Result_cache.store c ~key table
+    | _ -> ());
+    record jix outcome ~cache_hit:false ~attempts
+  in
+  let worker wix () =
+    let rec loop () =
+      match Workq.pop q with
+      | None -> ()
+      | Some { jix; work } ->
+        let t0 = now () in
+        (match work with
+        | Warm f ->
+          (* a warm failure is not fatal here: [run] recomputes the same
+             thing and surfaces the error as the job's failure record *)
+          (try f () with _ -> ());
+          Mutex.lock lock;
+          pending_warm.(jix) <- pending_warm.(jix) - 1;
+          let ready = pending_warm.(jix) = 0 in
+          Mutex.unlock lock;
+          if ready then Workq.push_unbounded q { jix; work = Finalize }
+        | Finalize -> finalize jix);
+        let dt = now () -. t0 in
+        busy_s.(wix) <- busy_s.(wix) +. dt;
+        Mutex.lock lock;
+        work_s.(jix) <- work_s.(jix) +. dt;
+        Mutex.unlock lock;
+        loop ()
+    in
+    loop ()
+  in
+  let domains = Array.init workers (fun wix -> Domain.spawn (worker wix)) in
+  Array.iteri
+    (fun jix (j : job) ->
+      let hit =
+        match (cache, j.cache_key) with
+        | Some c, Some key -> Result_cache.find c ~key
+        | _ -> None
+      in
+      match hit with
+      | Some table ->
+        incr cache_hits;
+        record jix (Finished table) ~cache_hit:true ~attempts:0
+      | None ->
+        if Option.is_some cache && Option.is_some j.cache_key then
+          incr cache_misses;
+        if j.warm = [] then Workq.push q { jix; work = Finalize }
+        else List.iter (fun f -> Workq.push q { jix; work = Warm f }) j.warm)
+    jobs;
+  Mutex.lock lock;
+  while !remaining > 0 do
+    Condition.wait all_done lock
+  done;
+  Mutex.unlock lock;
+  Workq.close q;
+  Array.iter Domain.join domains;
+  {
+    workers;
+    wall_s = now () -. t_start;
+    cache_hits = !cache_hits;
+    cache_misses = !cache_misses;
+    busy_s;
+    job_reports =
+      List.init n (fun jix ->
+          match slots.(jix) with
+          | Some (outcome, cache_hit, attempts) ->
+            {
+              job_id = jobs.(jix).id;
+              outcome;
+              work_s = work_s.(jix);
+              cache_hit;
+              attempts;
+            }
+          | None -> assert false (* remaining = 0 ⇒ every slot filled *));
+  }

@@ -1,0 +1,59 @@
+module Table = Trips_util.Table
+
+(* Bump when the stored payload shape changes; stale entries then read as
+   misses instead of deserialization errors. *)
+let format = "trips-result-cache/1"
+
+type t = { dir : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let digest key = Digest.to_hex (Digest.string key)
+
+let path t ~key = Filename.concat t.dir (digest key ^ ".res")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t ~key =
+  let file = path t ~key in
+  if not (Sys.file_exists file) then None
+  else
+    try
+      let (fmt, stored_key, payload) : string * string * string =
+        Marshal.from_string (read_file file) 0
+      in
+      (* the digest names the file; the full key inside guards against
+         collisions and foreign files *)
+      if fmt = format && stored_key = key then Some (Table.deserialize payload)
+      else None
+    with _ -> None
+
+let store t ~key table =
+  let file = path t ~key in
+  let tmp = Printf.sprintf "%s.%d.tmp" file (Unix.getpid ()) in
+  let data = Marshal.to_string (format, key, Table.serialize table) [] in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc data);
+    (* rename within one directory is atomic: concurrent writers of the
+       same key race harmlessly to identical content *)
+    Sys.rename tmp file
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ())

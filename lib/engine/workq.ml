@@ -1,0 +1,75 @@
+exception Closed
+
+type 'a t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Workq.create: capacity must be positive";
+  {
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let push t x =
+  Mutex.lock t.lock;
+  while (not t.closed) && Queue.length t.items >= t.capacity do
+    Condition.wait t.not_full t.lock
+  done;
+  if t.closed then (
+    Mutex.unlock t.lock;
+    raise Closed);
+  Queue.push x t.items;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+(* Consumers feeding continuation work back into the queue must never block
+   on the bound: every worker blocked in [push] is a worker not draining,
+   so a full queue would deadlock the pool.  The bound applies to external
+   producers only. *)
+let push_unbounded t x =
+  Mutex.lock t.lock;
+  if t.closed then (
+    Mutex.unlock t.lock;
+    raise Closed);
+  Queue.push x t.items;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.not_empty t.lock
+  done;
+  let r =
+    if Queue.is_empty t.items then None
+    else begin
+      let x = Queue.pop t.items in
+      Condition.signal t.not_full;
+      Some x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.lock
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.items in
+  Mutex.unlock t.lock;
+  n

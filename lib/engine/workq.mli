@@ -1,0 +1,30 @@
+(** Bounded multi-producer multi-consumer work queue.
+
+    The engine's submission thread pushes through the bound (blocking while
+    the queue is full); worker domains pop, and hand continuation tasks
+    back through {!push_unbounded} so a full queue can never deadlock the
+    pool.  [pop] returns [None] only after {!close} with the queue
+    drained. *)
+
+type 'a t
+
+exception Closed
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the queue holds [capacity] items.
+    @raise Closed if the queue was closed. *)
+
+val push_unbounded : 'a t -> 'a -> unit
+(** Enqueue ignoring the bound — for consumers feeding work back.
+    @raise Closed if the queue was closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item or {!close}; [None] means closed and drained. *)
+
+val close : 'a t -> unit
+(** Wake every blocked producer and consumer; further pushes raise. *)
+
+val length : 'a t -> int

@@ -1,16 +1,33 @@
 (** Registry of every reproduced table and figure.
 
-    [all] enumerates the experiments in paper order; [run] executes one by
-    id and returns the rendered table.  `bench/main.exe` iterates this
-    registry and `bin/trips_run.exe exp <id>` runs one interactively. *)
+    [all] enumerates the experiments in paper order.  Each experiment now
+    also declares its *engine* interface: a content-addressed [cache_key]
+    (experiment id + a Marshal digest of every modeled platform
+    configuration and the full workload set, so any config or workload
+    change invalidates stored results) and [warm], the per-benchmark
+    sub-jobs the engine may run concurrently before [run] assembles the
+    table from the memoized results.  [run] alone is always sufficient —
+    warm sub-jobs only populate memo tables. *)
 
 type experiment = {
   id : string;               (* e.g. "fig3", "table1" *)
   title : string;
   paper_claim : string;      (* the qualitative shape the paper reports *)
   run : unit -> Trips_util.Table.t;
+  cache_key : string;        (* content identity for the result cache *)
+  warm : (unit -> unit) list; (* independent per-benchmark sub-jobs *)
 }
 
 val all : experiment list
+
 val find : string -> experiment
 (** @raise Not_found for unknown ids. *)
+
+val find_opt : string -> experiment option
+
+val to_job :
+  ?timeout_s:float -> ?retries:int -> experiment -> Trips_engine.Engine.job
+(** The engine job for an experiment (defaults: 900 s budget, 1 retry). *)
+
+val meta : experiment -> Trips_engine.Artifacts.meta
+(** Manifest metadata (title, paper claim) for the artifact store. *)

@@ -193,6 +193,11 @@ let fig5 () =
 
 (* Unique blocks fetched during execution. *)
 let touched_blocks q (b : Registry.bench) =
+  Platforms.memo
+    (Printf.sprintf "codesize/%s/%s"
+       (match q with Platforms.C -> "C" | Platforms.H -> "H")
+       b.Registry.name)
+  @@ fun () ->
   let prog = Platforms.edge_program q b in
   let image = Image.build b.Registry.program.Ast.globals in
   let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
@@ -204,6 +209,8 @@ let touched_blocks q (b : Registry.bench) =
           Hashtbl.replace seen blk.Block.label (Array.length blk.Block.insts))
   in
   Hashtbl.fold (fun _ n acc -> n :: acc) seen []
+
+let warm_codesize b = ignore (touched_blocks Platforms.C b)
 
 let codesize () =
   let t =

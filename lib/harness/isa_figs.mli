@@ -15,3 +15,7 @@ val fig3 : unit -> Trips_util.Table.t
 val fig4 : unit -> Trips_util.Table.t
 val fig5 : unit -> Trips_util.Table.t
 val codesize : unit -> Trips_util.Table.t
+
+val warm_codesize : Trips_workloads.Registry.bench -> unit
+(** Force the memoized touched-block scan — the engine schedules these as
+    parallel sub-jobs ahead of {!codesize}. *)

@@ -12,3 +12,7 @@ val fig6 : unit -> Trips_util.Table.t
 val fig7 : unit -> Trips_util.Table.t
 val fig8 : unit -> Trips_util.Table.t
 val fig8_opn : unit -> Trips_util.Table.t
+
+val warm_fig7 : Trips_workloads.Registry.bench -> unit
+(** Force the memoized per-benchmark Fig 7 prediction-stream run — the
+    engine schedules these as parallel sub-jobs ahead of {!fig7}. *)

@@ -23,17 +23,49 @@ let check name expected got =
             (match expected with Some v -> Ty.value_to_string v | None -> "-")
             (match got with Some v -> Ty.value_to_string v | None -> "-")))
 
+(* The memo table is shared by every engine worker domain: guard it with a
+   mutex, and track in-flight keys so concurrent requests for the same
+   (benchmark, platform) pair simulate once — the losers block until the
+   winner publishes instead of duplicating a multi-second run. *)
 let table : (string, Obj.t) Hashtbl.t = Hashtbl.create 256
+let table_lock = Mutex.create ()
+let inflight : (string, unit) Hashtbl.t = Hashtbl.create 16
+let inflight_done = Condition.create ()
 
 let cached key f =
-  match Hashtbl.find_opt table key with
-  | Some v -> Obj.obj v
-  | None ->
-    let v = f () in
-    Hashtbl.replace table key (Obj.repr v);
-    v
+  Mutex.lock table_lock;
+  let rec obtain () =
+    match Hashtbl.find_opt table key with
+    | Some v ->
+      Mutex.unlock table_lock;
+      Obj.obj v
+    | None ->
+      if Hashtbl.mem inflight key then begin
+        Condition.wait inflight_done table_lock;
+        obtain ()
+      end
+      else begin
+        Hashtbl.replace inflight key ();
+        Mutex.unlock table_lock;
+        let v = try Ok (f ()) with e -> Error e in
+        Mutex.lock table_lock;
+        Hashtbl.remove inflight key;
+        (match v with
+        | Ok v -> Hashtbl.replace table key (Obj.repr v)
+        | Error _ -> ());
+        Condition.broadcast inflight_done;
+        Mutex.unlock table_lock;
+        match v with Ok v -> v | Error e -> raise e
+      end
+  in
+  obtain ()
 
-let clear_caches () = Hashtbl.reset table
+let memo key f = cached key f
+
+let clear_caches () =
+  Mutex.lock table_lock;
+  Hashtbl.reset table;
+  Mutex.unlock table_lock
 
 let edge_program q (b : Registry.bench) : Trips_edge.Block.program =
   cached (Printf.sprintf "prog/%s/%s" (quality_tag q) b.Registry.name) (fun () ->

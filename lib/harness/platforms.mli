@@ -40,4 +40,10 @@ val ideal :
 exception Mismatch of string
 (** A pipeline produced a result different from the interpreter's. *)
 
+val memo : string -> (unit -> 'a) -> 'a
+(** Memoize an arbitrary computation in the shared per-process table the
+    platform runners use.  Keys must be globally unique; the table is
+    domain-safe and deduplicates concurrent computations of one key, so
+    engine warm sub-jobs can force entries in parallel. *)
+
 val clear_caches : unit -> unit

@@ -1,0 +1,24 @@
+(** Minimal JSON emitter for the artifact store.
+
+    The engine writes experiment tables, run manifests and benchmark
+    summaries as JSON; nothing in the tree needs to *parse* JSON, so this
+    is an emitter only.  Output is deterministic: two structurally equal
+    values always render to the same bytes (object fields keep insertion
+    order, floats use a fixed [%.12g] spelling). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** A quoted JSON string literal for [s], escaping quotes, backslashes and
+    control characters. *)
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), trailing newline included.  NaN and
+    infinities render as [null]. *)

@@ -71,6 +71,64 @@ let render t =
 
 let print t = print_string (render t)
 
+let rows t =
+  List.rev t.lines
+  |> List.filter_map (function Row r -> Some r | Sep -> None)
+
+let to_json t =
+  let align_name = function Left -> "left" | Right -> "right" in
+  Json.to_string
+    (Json.Obj
+       [
+         ("title", match t.title with Some s -> Json.Str s | None -> Json.Null);
+         ( "columns",
+           Json.List
+             (List.mapi
+                (fun i name ->
+                  Json.Obj
+                    [ ("name", Json.Str name);
+                      ("align", Json.Str (align_name t.aligns.(i))) ])
+                t.header) );
+         ( "rows",
+           Json.List
+             (List.map (fun r -> Json.List (List.map (fun c -> Json.Str c) r))
+                (rows t)) );
+       ])
+
+(* RFC 4180: quote any cell holding a quote, comma or line break; double
+   embedded quotes. *)
+let csv_cell c =
+  let needs_quote =
+    String.exists (fun ch -> ch = '"' || ch = ',' || ch = '\n' || ch = '\r') c
+  in
+  if not needs_quote then c
+  else
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_string buf "\r\n"
+  in
+  emit t.header;
+  List.iter emit (rows t);
+  Buffer.contents buf
+
+let serialize t = Marshal.to_string t []
+
+let deserialize s =
+  try (Marshal.from_string s 0 : t)
+  with _ -> failwith "Table.deserialize: corrupt payload"
+
 let fnum x =
   let ax = Float.abs x in
   if ax < 100. then Printf.sprintf "%.2f" x

@@ -23,6 +23,25 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout. *)
 
+val rows : t -> string list list
+(** Data rows in display order, separators dropped. *)
+
+val to_json : t -> string
+(** The table as a JSON object [{title, columns, rows}]; separators are
+    presentation-only and dropped.  Deterministic byte-for-byte. *)
+
+val to_csv : t -> string
+(** Header line then data rows, RFC 4180 quoting (cells containing quotes,
+    commas or newlines are quoted, embedded quotes doubled), CRLF line
+    endings. *)
+
+val serialize : t -> string
+(** Opaque byte string for the on-disk result cache. *)
+
+val deserialize : string -> t
+(** Inverse of [serialize].
+    @raise Failure on a payload [serialize] did not produce. *)
+
 val fnum : float -> string
 (** Compact fixed-point formatting used across experiment tables:
     two decimals under 100, one decimal under 1000, integral above. *)

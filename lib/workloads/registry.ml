@@ -100,12 +100,23 @@ let suite_name = function
 
 let golden_cache : (string, Ty.value option * int64) Hashtbl.t = Hashtbl.create 64
 
+(* Engine worker domains share this memo; the interpreter run happens
+   outside the lock, so two domains may race to compute the same golden
+   value — harmless, both compute identical results. *)
+let golden_lock = Mutex.create ()
+
 let golden b =
+  Mutex.lock golden_lock;
   match Hashtbl.find_opt golden_cache b.name with
-  | Some g -> g
+  | Some g ->
+    Mutex.unlock golden_lock;
+    g
   | None ->
+    Mutex.unlock golden_lock;
     let image = Image.build b.program.Ast.globals in
     let out = Interp.run_ast b.program image "main" [] in
     let g = (out.Interp.result, Image.checksum image) in
+    Mutex.lock golden_lock;
     Hashtbl.replace golden_cache b.name g;
+    Mutex.unlock golden_lock;
     g

@@ -1,0 +1,69 @@
+(* Determinism of the experiment battery: repeated runs and parallel
+   engine runs must render byte-identical tables, so the engine can never
+   silently reorder or perturb results.
+
+   The full battery costs ~17 minutes of simulation on one core, so the
+   default tier-1 run covers the experiments whose simulations finish in
+   seconds; set TRIPS_DETERMINISM_FULL=1 to sweep all of
+   [Experiments.all]. *)
+
+open Trips_harness
+module Table = Trips_util.Table
+module Engine = Trips_engine.Engine
+
+(* Chosen by measurement: these four finish in ~35 s cold on one core
+   while still covering a config table, a cycle-level kernel run, the
+   five-platform speedup comparison (90 warm sub-jobs) and the FLOPS
+   table.  The remaining experiments cost minutes each. *)
+let fast_subset = [ "table1"; "fig8"; "fig11"; "flops" ]
+
+let ids () =
+  match Sys.getenv_opt "TRIPS_DETERMINISM_FULL" with
+  | Some ("1" | "true" | "yes") ->
+    List.map (fun (e : Experiments.experiment) -> e.Experiments.id) Experiments.all
+  | _ -> fast_subset
+
+let experiments () = List.map Experiments.find (ids ())
+
+(* Sequential renders, computed once and shared by both tests; the second
+   sequential pass exercises the memo-table path. *)
+let reference = lazy (
+  List.map
+    (fun (e : Experiments.experiment) ->
+      (e.Experiments.id, Table.render (e.Experiments.run ())))
+    (experiments ()))
+
+let test_sequential_repeatable () =
+  List.iter2
+    (fun (id, first) (e : Experiments.experiment) ->
+      let again = Table.render (e.Experiments.run ()) in
+      Alcotest.(check string) (id ^ " repeats byte-identically") first again)
+    (Lazy.force reference) (experiments ())
+
+let test_parallel_identical () =
+  let reference = Lazy.force reference in
+  (* cold memo tables: the engine must recompute everything concurrently *)
+  Platforms.clear_caches ();
+  let report =
+    Engine.run ~workers:4 (List.map Experiments.to_job (experiments ()))
+  in
+  List.iter2
+    (fun (id, expected) (r : Engine.job_report) ->
+      match r.Engine.outcome with
+      | Engine.Finished table ->
+        Alcotest.(check string)
+          (id ^ " identical under --jobs 4") expected (Table.render table)
+      | Engine.Failed { error; _ } -> Alcotest.fail (id ^ " failed: " ^ error))
+    reference report.Engine.job_reports
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "sequential reruns identical" `Quick
+            test_sequential_repeatable;
+          Alcotest.test_case "parallel engine identical" `Quick
+            test_parallel_identical;
+        ] );
+    ]

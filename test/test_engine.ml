@@ -1,0 +1,229 @@
+(* Tests for the parallel experiment engine: the bounded work queue, job
+   scheduling and crash isolation, and the on-disk result cache. *)
+
+module Table = Trips_util.Table
+module Engine = Trips_engine.Engine
+module Workq = Trips_engine.Workq
+module Result_cache = Trips_engine.Result_cache
+
+let mk_table tag =
+  let t = Table.create ~title:("t-" ^ tag) [ ("k", Table.Left); ("v", Table.Right) ] in
+  Table.add_row t [ tag; "1" ];
+  t
+
+let trivial_job ?cache_key ?warm ?timeout_s ?retries id =
+  Engine.job ?cache_key ?warm ?timeout_s ?retries ~id (fun () -> mk_table id)
+
+let render_of = function
+  | Engine.Finished t -> Table.render t
+  | Engine.Failed { error; _ } -> "FAILED: " ^ error
+
+(* -- Workq ----------------------------------------------------------- *)
+
+let test_workq_fifo () =
+  let q = Workq.create ~capacity:4 in
+  List.iter (fun i -> Workq.push q i) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Workq.length q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Workq.pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Workq.pop q);
+  Workq.close q;
+  Alcotest.(check (option int)) "drain before closed-empty" (Some 3) (Workq.pop q);
+  Alcotest.(check (option int)) "closed and drained" None (Workq.pop q);
+  Alcotest.check_raises "push after close" Workq.Closed (fun () -> Workq.push q 9)
+
+let test_workq_bound_blocks () =
+  (* a producer pushing past the bound blocks until a consumer pops *)
+  let q = Workq.create ~capacity:2 in
+  Workq.push q 1;
+  Workq.push q 2;
+  let third_pushed = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        Workq.push q 3;
+        Atomic.set third_pushed true)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "still blocked at capacity" false (Atomic.get third_pushed);
+  Alcotest.(check (option int)) "pop frees a slot" (Some 1) (Workq.pop q);
+  Domain.join producer;
+  Alcotest.(check bool) "unblocked after pop" true (Atomic.get third_pushed);
+  Alcotest.(check int) "both remain" 2 (Workq.length q)
+
+(* -- Engine scheduling ------------------------------------------------ *)
+
+let test_engine_more_jobs_than_workers () =
+  let n = 32 in
+  let jobs = List.init n (fun i -> trivial_job (Printf.sprintf "job%02d" i)) in
+  let report = Engine.run ~workers:3 ~queue_capacity:4 jobs in
+  Alcotest.(check int) "all jobs reported" n (List.length report.Engine.job_reports);
+  List.iteri
+    (fun i (r : Engine.job_report) ->
+      Alcotest.(check string)
+        "submission order preserved"
+        (Printf.sprintf "job%02d" i)
+        r.Engine.job_id;
+      Alcotest.(check string)
+        "result is the job's own table"
+        (Table.render (mk_table r.Engine.job_id))
+        (render_of r.Engine.outcome))
+    report.Engine.job_reports
+
+let test_engine_warm_subjobs_run_before_finalize () =
+  let warmed = Atomic.make 0 in
+  let job =
+    Engine.job ~id:"warmy"
+      ~warm:(List.init 8 (fun _ () -> Atomic.incr warmed))
+      (fun () ->
+        (* every warm sub-job has completed by the time run executes *)
+        mk_table (string_of_int (Atomic.get warmed)))
+  in
+  let report = Engine.run ~workers:4 [ job ] in
+  match (List.hd report.Engine.job_reports).Engine.outcome with
+  | Engine.Finished t ->
+    Alcotest.(check string) "run saw all warms" (Table.render (mk_table "8"))
+      (Table.render t)
+  | Engine.Failed { error; _ } -> Alcotest.fail error
+
+let test_engine_failure_isolated () =
+  let jobs =
+    [
+      trivial_job "ok-before";
+      Engine.job ~id:"boom" ~retries:2 (fun () -> failwith "deliberate failure");
+      trivial_job "ok-after";
+    ]
+  in
+  let report = Engine.run ~workers:2 jobs in
+  (match report.Engine.job_reports with
+  | [ a; b; c ] ->
+    Alcotest.(check string) "sibling before" (Table.render (mk_table "ok-before"))
+      (render_of a.Engine.outcome);
+    (match b.Engine.outcome with
+    | Engine.Failed { attempts; error } ->
+      Alcotest.(check int) "initial try + 2 retries" 3 attempts;
+      Alcotest.(check string) "structured reason" "deliberate failure" error
+    | Engine.Finished _ -> Alcotest.fail "raising job must fail");
+    Alcotest.(check string) "sibling after" (Table.render (mk_table "ok-after"))
+      (render_of c.Engine.outcome)
+  | _ -> Alcotest.fail "three reports expected");
+  Alcotest.(check int) "failed job counts its attempts" 3
+    (List.nth report.Engine.job_reports 1).Engine.attempts
+
+let test_engine_warm_failure_surfaces_in_run () =
+  (* a crashing warm sub-job must not kill the pool; the job's own run
+     decides its fate *)
+  let job =
+    Engine.job ~id:"warm-crash"
+      ~warm:[ (fun () -> failwith "warm crash") ]
+      (fun () -> mk_table "survived")
+  in
+  let report = Engine.run ~workers:2 [ job ] in
+  Alcotest.(check string) "job still finishes" (Table.render (mk_table "survived"))
+    (render_of (List.hd report.Engine.job_reports).Engine.outcome)
+
+let test_engine_soft_timeout () =
+  let job =
+    Engine.job ~id:"slow" ~timeout_s:0.01 ~retries:3 (fun () ->
+        Unix.sleepf 0.05;
+        mk_table "slow")
+  in
+  let report = Engine.run ~workers:1 [ job ] in
+  match (List.hd report.Engine.job_reports).Engine.outcome with
+  | Engine.Failed { attempts; error } ->
+    Alcotest.(check int) "no retry on timeout" 1 attempts;
+    Alcotest.(check bool) "reason names the budget" true
+      (String.length error >= 7 && String.sub error 0 7 = "timeout")
+  | Engine.Finished _ -> Alcotest.fail "deadline blown, job must fail"
+
+(* -- Result cache ----------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "trips-cache-test-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_cache_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let c = Result_cache.open_ dir in
+  Alcotest.(check bool) "miss on empty" true
+    (Result_cache.find c ~key:"k1" = None);
+  let t = mk_table "cached" in
+  Result_cache.store c ~key:"k1" t;
+  (match Result_cache.find c ~key:"k1" with
+  | Some t' -> Alcotest.(check string) "hit round-trips" (Table.render t) (Table.render t')
+  | None -> Alcotest.fail "stored entry must hit");
+  (* same digest file, different key inside → miss, not a wrong table *)
+  Alcotest.(check bool) "other key misses" true
+    (Result_cache.find c ~key:"k2" = None)
+
+let test_cache_corrupt_entry_is_miss () =
+  with_temp_dir @@ fun dir ->
+  let c = Result_cache.open_ dir in
+  let oc = open_out_bin (Result_cache.path c ~key:"evil") in
+  output_string oc "garbage bytes";
+  close_out oc;
+  Alcotest.(check bool) "corrupt file reads as miss" true
+    (Result_cache.find c ~key:"evil" = None)
+
+let test_engine_cache_hit_skips_run () =
+  with_temp_dir @@ fun dir ->
+  let cache = Result_cache.open_ dir in
+  let runs = Atomic.make 0 in
+  let mk () =
+    Engine.job ~id:"exp" ~cache_key:"exp/v1" (fun () ->
+        Atomic.incr runs;
+        mk_table "expensive")
+  in
+  let first = Engine.run ~workers:2 ~cache [ mk () ] in
+  Alcotest.(check int) "first run computes" 1 (Atomic.get runs);
+  Alcotest.(check int) "first run misses" 1 first.Engine.cache_misses;
+  Alcotest.(check int) "first run has no hits" 0 first.Engine.cache_hits;
+  let second = Engine.run ~workers:2 ~cache [ mk () ] in
+  Alcotest.(check int) "cache hit skips run" 1 (Atomic.get runs);
+  Alcotest.(check int) "second run hits" 1 second.Engine.cache_hits;
+  let r = List.hd second.Engine.job_reports in
+  Alcotest.(check bool) "report marks the hit" true r.Engine.cache_hit;
+  Alcotest.(check int) "no attempts on a hit" 0 r.Engine.attempts;
+  Alcotest.(check string) "stored table returned"
+    (Table.render (mk_table "expensive"))
+    (render_of r.Engine.outcome)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "workq",
+        [
+          Alcotest.test_case "fifo and close" `Quick test_workq_fifo;
+          Alcotest.test_case "bound blocks producers" `Quick test_workq_bound_blocks;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "queue drains under more jobs than workers" `Quick
+            test_engine_more_jobs_than_workers;
+          Alcotest.test_case "warm sub-jobs precede finalize" `Quick
+            test_engine_warm_subjobs_run_before_finalize;
+          Alcotest.test_case "raising job fails, siblings complete" `Quick
+            test_engine_failure_isolated;
+          Alcotest.test_case "warm crash is not fatal" `Quick
+            test_engine_warm_failure_surfaces_in_run;
+          Alcotest.test_case "soft timeout" `Quick test_engine_soft_timeout;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "store/find roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "corrupt entry is a miss" `Quick
+            test_cache_corrupt_entry_is_miss;
+          Alcotest.test_case "hit returns stored table without run" `Quick
+            test_engine_cache_hit_skips_run;
+        ] );
+    ]

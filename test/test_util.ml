@@ -93,6 +93,78 @@ let test_fnum () =
   Alcotest.(check string) "mid" "123.4" (Table.fnum 123.44);
   Alcotest.(check string) "big" "12345" (Table.fnum 12345.4)
 
+let contains_sub haystack needle =
+  let n = String.length needle in
+  let rec find i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || find (i + 1))
+  in
+  find 0
+
+(* a table whose cells hold every character CSV and JSON must escape *)
+let nasty_table () =
+  let t = Table.create ~title:"Nasty \"title\"" [ ("k", Table.Left); ("v", Table.Right) ] in
+  Table.add_row t [ "comma,cell"; "quote\"cell" ];
+  Table.add_sep t;
+  Table.add_row t [ "line\nbreak"; "back\\slash" ];
+  t
+
+let test_table_csv () =
+  let csv = Table.to_csv (nasty_table ()) in
+  let lines = String.split_on_char '\n' csv in
+  (* header + 2 data rows (separator dropped) + trailing empty; every data
+     line ends in \r thanks to RFC 4180 CRLF... except the embedded
+     newline splits its row across two physical lines *)
+  Alcotest.(check int) "physical lines" 5 (List.length lines);
+  Alcotest.(check string) "header" "k,v\r" (List.nth lines 0);
+  Alcotest.(check string) "quoted comma and quote"
+    "\"comma,cell\",\"quote\"\"cell\"\r" (List.nth lines 1);
+  Alcotest.(check string) "embedded newline opens quote" "\"line" (List.nth lines 2);
+  Alcotest.(check string) "and closes it" "break\",back\\slash\r" (List.nth lines 3)
+
+let test_table_json () =
+  let j = Table.to_json (nasty_table ()) in
+  Alcotest.(check bool) "escaped title" true
+    (contains_sub j "\"Nasty \\\"title\\\"\"");
+  Alcotest.(check bool) "no raw newline inside a string" true
+    (let inside = ref false and bad = ref false and esc = ref false in
+     String.iter
+       (fun c ->
+         if !esc then esc := false
+         else
+           match c with
+           | '\\' -> esc := true
+           | '"' -> inside := not !inside
+           | '\n' when !inside -> bad := true
+           | _ -> ())
+       j;
+     not !bad)
+
+let test_table_serialize_roundtrip () =
+  let t = nasty_table () in
+  let t' = Table.deserialize (Table.serialize t) in
+  Alcotest.(check string) "render survives" (Table.render t) (Table.render t');
+  Alcotest.(check string) "json survives" (Table.to_json t) (Table.to_json t');
+  Alcotest.check_raises "garbage rejected"
+    (Failure "Table.deserialize: corrupt payload") (fun () ->
+      ignore (Table.deserialize "not a marshalled table"))
+
+let test_json_emitter () =
+  let j =
+    Json.to_string
+      (Json.Obj
+         [
+           ("s", Json.Str "a\"b\nc");
+           ("f", Json.Float 1.5);
+           ("whole", Json.Float 3.0);
+           ("nan", Json.Float Float.nan);
+           ("l", Json.List [ Json.Int 1; Json.Bool false; Json.Null ]);
+         ])
+  in
+  Alcotest.(check bool) "escapes quote" true (contains_sub j "\"a\\\"b\\nc\"");
+  Alcotest.(check bool) "whole float keeps point" true (contains_sub j "3.0");
+  Alcotest.(check bool) "nan is null" true (contains_sub j "\"nan\": null")
+
 (* Property tests *)
 
 let prop_rng_int_bounded =
@@ -144,5 +216,9 @@ let () =
           Alcotest.test_case "shape" `Quick test_table_shape;
           Alcotest.test_case "arity" `Quick test_table_arity;
           Alcotest.test_case "fnum" `Quick test_fnum;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv;
+          Alcotest.test_case "json escaping" `Quick test_table_json;
+          Alcotest.test_case "serialize roundtrip" `Quick test_table_serialize_roundtrip;
+          Alcotest.test_case "json emitter" `Quick test_json_emitter;
         ] );
     ]
