@@ -139,6 +139,165 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ bench_arg $ preset_arg)
 
+(* -- lint ------------------------------------------------------------- *)
+
+module Analyzer = Trips_analysis.Analyzer
+module Diag = Trips_analysis.Diag
+module Driver = Trips_compiler.Driver
+module Json = Trips_util.Json
+
+let lint_preset_of = function
+  | "O0" | "o0" -> Driver.o0
+  | "C" | "c" | "compiled" -> Driver.compiled
+  | "H" | "h" | "hand" -> Driver.hand
+  | "BB" | "bb" | "basic-blocks" -> Driver.basic_blocks
+  | q -> invalid_arg ("unknown preset " ^ q ^ " (use O0, C, H or basic-blocks)")
+
+let lint_program (preset : Driver.preset) (b : Registry.bench) :
+    Trips_edge.Block.program option * Diag.t list =
+  (* H lints what the experiments execute: the hand-written EDGE program
+     when the benchmark ships one *)
+  match
+    match (preset.Driver.pname, b.Registry.hand_edge) with
+    | "hand", Some prog -> Ok prog
+    | _ -> ( try Ok (Driver.compile preset b.Registry.program) with e -> Error e)
+  with
+  | Ok prog -> (Some prog, Analyzer.analyze_program prog)
+  | Error e ->
+    ( None,
+      [
+        Diag.make ~fname:b.Registry.name "compile-fail"
+          (Printf.sprintf "compilation failed: %s" (Printexc.to_string e));
+      ] )
+
+let lint_main benches all presets format strict out =
+  try
+    let benches =
+      if all || benches = [] then Registry.all
+      else List.map Registry.find benches
+    in
+    let presets = (if presets = [] then [ "C"; "H" ] else presets) in
+    let presets = List.map (fun p -> (p, lint_preset_of p)) presets in
+    let results =
+      List.concat_map
+        (fun (b : Registry.bench) ->
+          List.map
+            (fun (ptag, preset) ->
+              let _, ds = lint_program preset b in
+              (b.Registry.name, ptag, ds))
+            presets)
+        benches
+    in
+    let all_ds = List.concat_map (fun (_, _, ds) -> ds) results in
+    let dirty =
+      List.filter (fun (_, _, ds) -> ds <> []) results
+    in
+    let report_json =
+      Json.Obj
+        [
+          ( "programs",
+            Json.List
+              (List.map
+                 (fun (name, ptag, ds) ->
+                   Json.Obj
+                     [
+                       ("bench", Json.Str name);
+                       ("preset", Json.Str ptag);
+                       ("findings", Diag.list_to_json ds);
+                     ])
+                 results) );
+          ( "summary",
+            Json.Obj
+              [
+                ("programs", Json.Int (List.length results));
+                ("errors", Json.Int (Diag.errors all_ds));
+                ("warnings", Json.Int (Diag.warnings all_ds));
+                ("strict", Json.Bool strict);
+              ] );
+        ]
+    in
+    (match format with
+    | "txt" ->
+      List.iter
+        (fun (name, ptag, ds) ->
+          Printf.printf "%s [%s]: %s\n" name ptag (Analyzer.summary ds);
+          print_string (Diag.render_text ds))
+        dirty;
+      Printf.printf "lint: %d program(s) (%d benchmark(s) x %d preset(s)): %s\n"
+        (List.length results) (List.length benches) (List.length presets)
+        (Analyzer.summary all_ds)
+    | "json" -> print_string (Json.to_string report_json)
+    | f -> invalid_arg ("unknown format " ^ f ^ " (txt|json)"));
+    (match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string report_json);
+      close_out oc;
+      Printf.eprintf "lint report: %s\n" file
+    | None -> ());
+    if Diag.failed ~strict all_ds then
+      `Error
+        ( false,
+          Printf.sprintf "lint failed%s: %s" (if strict then " (strict)" else "")
+            (Analyzer.summary all_ds) )
+    else `Ok ()
+  with
+  | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+  | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
+
+let lint_cmd =
+  let doc =
+    "Statically analyze the compiled EDGE blocks of registered benchmarks."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles every selected benchmark under every selected preset and \
+         runs the block/program static analyzer: predicate-path checks \
+         (exactly one exit, store completion, write delivery, port \
+         conflicts, null-token flow), dataflow deadlock and dead-code \
+         detection, and cross-block liveness (use-before-def, dead \
+         writes, branch-target resolution).";
+    ]
+  in
+  let benches =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark to lint (repeatable).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every registered benchmark.")
+  in
+  let presets =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "preset" ] ~docv:"O0|C|H|BB"
+          ~doc:"Code-quality preset (repeatable; default C and H).")
+  in
+  let format =
+    Arg.(
+      value & opt string "txt"
+      & info [ "format" ] ~docv:"txt|json" ~doc:"Report rendering.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Fail on warnings as well as errors.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(
+      ret (const lint_main $ benches $ all $ presets $ format $ strict $ out))
+
 (* -- default: the parallel experiment engine -------------------------- *)
 
 module Engine = Trips_engine.Engine
@@ -264,4 +423,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:default_term info
-          [ list_cmd; run_cmd; exp_cmd; disasm_cmd ]))
+          [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd ]))

@@ -14,6 +14,9 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== static analyzer: trips_run lint --all --strict =="
+dune exec bin/trips_run.exe -- lint --all --strict --out lint-report.json
+
 echo "== engine smoke: trips_run --id table1 --jobs 2 --format json =="
 out=$(dune exec bin/trips_run.exe -- --id table1 --jobs 2 --format json 2>/dev/null)
 echo "$out" | grep -q '"title": "Table 1' || {

@@ -1,0 +1,66 @@
+(* Orchestration: run every analysis pass over a block, function or
+   program and collect the structured findings. *)
+
+module Block = Trips_edge.Block
+
+type options = { max_paths : int }
+
+let default_options = { max_paths = Paths.default_max_paths }
+
+let analyze_block ?(options = default_options) ~fname (b : Block.t) :
+    Diag.t list =
+  let structural = Structure.check ~fname b in
+  (* index-based passes need in-range targets to run at all *)
+  if Structure.targets_in_range b then
+    structural @ Dataflow_checks.check ~max_paths:options.max_paths ~fname b
+  else structural
+
+let analyze_func ?(options = default_options) ?known_funcs (f : Block.func) :
+    Diag.t list =
+  let fname = f.Block.fname in
+  List.concat_map (analyze_block ~options ~fname) f.Block.blocks
+  @ Liveness.check_func ~fname ?known_funcs f
+
+let analyze_program ?(options = default_options) (p : Block.program) :
+    Diag.t list =
+  let known = List.map (fun (f : Block.func) -> f.Block.fname) p.Block.funcs in
+  let per_block =
+    List.concat_map
+      (fun (f : Block.func) ->
+        List.concat_map
+          (analyze_block ~options ~fname:f.Block.fname)
+          f.Block.blocks)
+      p.Block.funcs
+  in
+  (* label uniqueness + per-function CFG passes *)
+  let dup_labels_and_cfg =
+    let owner = Hashtbl.create 64 in
+    let dups = ref [] in
+    List.iter
+      (fun (f : Block.func) ->
+        List.iter
+          (fun (b : Block.t) ->
+            match Hashtbl.find_opt owner b.Block.label with
+            | Some other ->
+              dups :=
+                Diag.make ~fname:f.Block.fname ~block:b.Block.label
+                  "branch-target"
+                  (Printf.sprintf "duplicate block label (also in %s)" other)
+                :: !dups
+            | None -> Hashtbl.replace owner b.Block.label f.Block.fname)
+          f.Block.blocks)
+      p.Block.funcs;
+    List.rev !dups
+    @ List.concat_map
+        (fun (f : Block.func) ->
+          Liveness.check_func ~fname:f.Block.fname ~known_funcs:known f)
+        p.Block.funcs
+  in
+  per_block @ dup_labels_and_cfg
+
+let classes ds = List.sort_uniq compare (List.map (fun (d : Diag.t) -> d.Diag.cls) ds)
+
+let has_class cls ds = List.exists (fun (d : Diag.t) -> d.Diag.cls = cls) ds
+
+let summary ds =
+  Printf.sprintf "%d error(s), %d warning(s)" (Diag.errors ds) (Diag.warnings ds)

@@ -1,0 +1,207 @@
+(* Per-block dataflow verification over enumerated predicate paths.
+
+   The checks mirror the run-time obligations of Exec.exec_block, which
+   the hardware's block-atomic commit protocol imposes on every block
+   instance regardless of which path it takes:
+     - exactly one branch fires (exit-path);
+     - every write slot receives exactly one token (write-path);
+     - every store fires, possibly with a null token (store-path);
+     - no operand port is delivered twice (port-conflict);
+     - null tokens only ever reach store ports (null-flow);
+   plus two static properties:
+     - deadlock: a live instruction that can fire on no path (its operands
+       can never all arrive together);
+     - dead-code: an instruction whose result reaches no write, store or
+       branch — informational only, because unoptimized presets (O0)
+       legitimately carry dead instructions; they waste issue slots but
+       cannot make a block misbehave. *)
+
+module Isa = Trips_edge.Isa
+module Block = Trips_edge.Block
+
+let diag ~fname ~(b : Block.t) ?inst ?fix ?(sev = Diag.Error) cls msg =
+  Diag.make ~sev ~fname ~block:b.Block.label ?inst ?fix cls msg
+
+(* instructions whose result (transitively) reaches a write, store or
+   branch; predicate arcs count as uses *)
+let live_set (b : Block.t) : bool array =
+  let n = Array.length b.insts in
+  let live = Array.make n false in
+  let is_root (ins : Isa.inst) =
+    match ins.Isa.op with
+    | Isa.Store _ | Isa.Branch _ -> true
+    | _ -> List.exists (function Isa.To_write _ -> true | _ -> false) ins.Isa.targets
+  in
+  Array.iteri (fun i ins -> if is_root ins then live.(i) <- true) b.insts;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (ins : Isa.inst) ->
+        if not live.(i) then
+          let feeds_live =
+            List.exists
+              (function
+                | Isa.To_inst (j, _) -> j >= 0 && j < n && live.(j)
+                | Isa.To_write _ -> true)
+              ins.Isa.targets
+          in
+          if feeds_live then begin
+            live.(i) <- true;
+            changed := true
+          end)
+      b.insts
+  done;
+  live
+
+let check ?(max_paths = Paths.default_max_paths) ~fname (b : Block.t) :
+    Diag.t list =
+  let n = Array.length b.insts in
+  let out = ref [] in
+  let dedup = Hashtbl.create 32 in
+  let emit key d =
+    if not (Hashtbl.mem dedup key) then begin
+      Hashtbl.replace dedup key ();
+      out := d :: !out
+    end
+  in
+  let ports = Paths.port_map b in
+  (* write-slot producers, from targets *)
+  let write_producers = Array.make (Array.length b.writes) [] in
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      List.iter
+        (function
+          | Isa.To_write w -> write_producers.(w) <- Paths.Inst i :: write_producers.(w)
+          | Isa.To_inst _ -> ())
+        ins.Isa.targets)
+    b.insts;
+  Array.iteri
+    (fun r (rd : Block.read) ->
+      List.iter
+        (function
+          | Isa.To_write w -> write_producers.(w) <- Paths.Read r :: write_producers.(w)
+          | Isa.To_inst _ -> ())
+        rd.Block.rtargets)
+    b.reads;
+  let live = live_set b in
+  let paths, truncated = Paths.enumerate ~max_paths b in
+  if truncated then
+    emit ("explosion", 0, Isa.Op0)
+      (diag ~fname ~b ~sev:Diag.Info "path-explosion"
+         (Printf.sprintf
+            "more than %d predicate paths; dataflow checks cover a subset"
+            max_paths));
+  let ever_fired = Array.make n false in
+  List.iter
+    (fun (p : Paths.path) ->
+      Array.iteri (fun i f -> if f then ever_fired.(i) <- true) p.Paths.fires;
+      let fired = function Paths.Read _ -> true | Paths.Inst j -> p.Paths.fires.(j) in
+      let where = Paths.pp_assign p.Paths.assign in
+      (* exactly one branch *)
+      let branches =
+        List.filter (fun (i, _) -> p.Paths.fires.(i)) (Block.exits b)
+      in
+      (match branches with
+      | [ _ ] -> ()
+      | [] ->
+        emit ("exit0", 0, Isa.Op0)
+          (diag ~fname ~b "exit-path" ("no branch fires on " ^ where)
+             ~fix:"cover every predicate path with exactly one branch")
+      | (i, _) :: _ ->
+        emit ("exit2", 0, Isa.Op0)
+          (diag ~fname ~b ~inst:i "exit-path"
+             (Printf.sprintf "%d branches fire on %s" (List.length branches) where)
+             ~fix:"predicate the branches on disjoint paths"));
+      (* stores complete on every path *)
+      Array.iteri
+        (fun i (ins : Isa.inst) ->
+          match ins.Isa.op with
+          | Isa.Store _ when not p.Paths.fires.(i) ->
+            emit ("store", i, Isa.Op0)
+              (diag ~fname ~b ~inst:i "store-path"
+                 ("store does not complete on " ^ where)
+                 ~fix:"feed the store a null token on untaken paths")
+          | _ -> ())
+        b.insts;
+      (* write slots: exactly one token each *)
+      Array.iteri
+        (fun w producers ->
+          match producers with
+          | [] -> () (* flagged as write-producer by the structure pass *)
+          | _ -> (
+            match List.length (List.filter fired producers) with
+            | 1 -> ()
+            | 0 ->
+              emit ("write0", w, Isa.Op0)
+                (diag ~fname ~b "write-path"
+                   (Printf.sprintf "write slot W%d receives no value on %s" w where)
+                   ~fix:"merge the defining paths with predicated movs")
+            | k ->
+              emit ("write2", w, Isa.Op0)
+                (diag ~fname ~b "write-path"
+                   (Printf.sprintf "write slot W%d receives %d values on %s" w k
+                      where))))
+        write_producers;
+      (* operand ports: at most one delivery *)
+      Hashtbl.iter
+        (fun (j, s) producers ->
+          let k = List.length (List.filter fired producers) in
+          if k > 1 then
+            emit ("port", j, s)
+              (diag ~fname ~b ~inst:j "port-conflict"
+                 (Printf.sprintf "%s receives %d tokens on %s" (Isa.slot_name s) k
+                    where)
+                 ~fix:"producers sharing a port must be predicated on disjoint paths"))
+        ports;
+      (* null tokens must stay on store ports *)
+      let nul = Paths.null_kinds b p in
+      Array.iteri
+        (fun i (ins : Isa.inst) ->
+          if p.Paths.fires.(i) && nul.(i) then
+            List.iter
+              (function
+                | Isa.To_write w ->
+                  emit ("nullw", w, Isa.Op0)
+                    (diag ~fname ~b ~inst:i "null-flow"
+                       (Printf.sprintf
+                          "null token reaches write slot W%d on %s" w where))
+                | Isa.To_inst (j, Isa.OpPred) ->
+                  emit ("nullp", j, Isa.OpPred)
+                    (diag ~fname ~b ~inst:j "null-flow"
+                       ("null token arrives as a predicate on " ^ where))
+                | Isa.To_inst (j, s) -> (
+                  match b.insts.(j).Isa.op with
+                  | Isa.Store _ | Isa.Mov | Isa.Null -> ()
+                  | Isa.Load _ when s = Isa.Op0 && p.Paths.fires.(j) ->
+                    emit ("nulla", j, s)
+                      (diag ~fname ~b ~inst:j "null-flow"
+                         ("null token used as a load address on " ^ where))
+                  | Isa.Bin _ | Isa.Un _ when p.Paths.fires.(j) ->
+                    emit ("nulla", j, s)
+                      (diag ~fname ~b ~inst:j "null-flow"
+                         ("null token used as an ALU operand on " ^ where))
+                  | _ -> ()))
+              ins.Isa.targets)
+        b.insts)
+    paths;
+  (* aggregated over all paths *)
+  if not truncated then
+    Array.iteri
+      (fun i (_ : Isa.inst) ->
+        if live.(i) && not ever_fired.(i) then
+          emit ("deadlock", i, Isa.Op0)
+            (diag ~fname ~b ~inst:i "deadlock"
+               "live instruction can fire on no path: its operands and \
+                predicate can never all arrive on a single predicate path"
+               ~fix:"route all operands through producers alive on a common path"))
+      b.insts;
+  Array.iteri
+    (fun i (_ : Isa.inst) ->
+      if not live.(i) then
+        emit ("dead", i, Isa.Op0)
+          (diag ~fname ~b ~inst:i ~sev:Diag.Info "dead-code"
+             "result reaches no write, store or branch"
+             ~fix:"delete the instruction or target a consumer"))
+    b.insts;
+  List.rev !out

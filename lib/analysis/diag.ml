@@ -1,0 +1,77 @@
+type severity = Info | Warning | Error
+
+type t = {
+  sev : severity;
+  cls : string;
+  fname : string;
+  block : string;
+  inst : int option;
+  msg : string;
+  fix : string option;
+}
+
+let make ?(sev = Error) ?(fname = "") ?(block = "") ?inst ?fix cls msg =
+  { sev; cls; fname; block; inst; msg; fix }
+
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let compare_diags a b =
+  (* most severe first, then by location for stable reports *)
+  let c = compare (severity_rank b.sev) (severity_rank a.sev) in
+  if c <> 0 then c
+  else
+    let c = compare (a.fname, a.block, a.inst) (b.fname, b.block, b.inst) in
+    if c <> 0 then c else compare (a.cls, a.msg) (b.cls, b.msg)
+
+let sort ds = List.sort compare_diags ds
+
+let count sev ds = List.length (List.filter (fun d -> d.sev = sev) ds)
+let errors ds = count Error ds
+let warnings ds = count Warning ds
+
+let failed ~strict ds =
+  errors ds > 0 || (strict && warnings ds > 0)
+
+let location d =
+  let at =
+    match d.inst with
+    | Some i -> Printf.sprintf "%s/I%d" d.block i
+    | None -> d.block
+  in
+  if d.fname = "" then at
+  else if at = "" then d.fname
+  else d.fname ^ ":" ^ at
+
+let to_line d =
+  let loc = location d in
+  Printf.sprintf "%-7s [%s] %s%s%s" (severity_name d.sev) d.cls
+    (if loc = "" then "" else loc ^ ": ")
+    d.msg
+    (match d.fix with None -> "" | Some f -> "  (fix: " ^ f ^ ")")
+
+let render_text ds =
+  let ds = sort ds in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (to_line d);
+      Buffer.add_char buf '\n')
+    ds;
+  Buffer.contents buf
+
+let to_json d =
+  let module J = Trips_util.Json in
+  J.Obj
+    ([
+       ("severity", J.Str (severity_name d.sev));
+       ("class", J.Str d.cls);
+       ("function", J.Str d.fname);
+       ("block", J.Str d.block);
+     ]
+    @ (match d.inst with Some i -> [ ("inst", J.Int i) ] | None -> [])
+    @ [ ("message", J.Str d.msg) ]
+    @ match d.fix with Some f -> [ ("fix", J.Str f) ] | None -> [])
+
+let list_to_json ds = Trips_util.Json.List (List.map to_json (sort ds))

@@ -1,0 +1,46 @@
+(** Structured diagnostics for the EDGE static analyzer.
+
+    Every finding carries a stable diagnostic class (["exit-path"],
+    ["deadlock"], ["dead-code"], ...) used by the mutation test suite and by
+    machine consumers of the JSON report, plus the location (function, block,
+    instruction index) and an optional suggested fix. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  sev : severity;
+  cls : string;           (* stable diagnostic class identifier *)
+  fname : string;         (* enclosing function, "" when unknown *)
+  block : string;         (* block label, "" for program-level findings *)
+  inst : int option;      (* instruction index within the block *)
+  msg : string;
+  fix : string option;    (* suggested fix *)
+}
+
+val make :
+  ?sev:severity ->
+  ?fname:string ->
+  ?block:string ->
+  ?inst:int ->
+  ?fix:string ->
+  string ->
+  string ->
+  t
+(** [make cls msg] builds a diagnostic; severity defaults to [Error]. *)
+
+val severity_name : severity -> string
+val sort : t list -> t list
+(** Most severe first, then by location. *)
+
+val errors : t list -> int
+val warnings : t list -> int
+
+val failed : strict:bool -> t list -> bool
+(** A report fails when it contains errors; under [~strict:true] warnings
+    fail it too.  [Info] findings never fail a report. *)
+
+val location : t -> string
+val to_line : t -> string
+val render_text : t list -> string
+val to_json : t -> Trips_util.Json.t
+val list_to_json : t list -> Trips_util.Json.t

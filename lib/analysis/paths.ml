@@ -1,0 +1,157 @@
+(* Predicate-path enumeration for one EDGE block.
+
+   A block's dynamic behaviour is determined by the values its predicate
+   producers (test instructions referenced by On_true/On_false) deliver.
+   We enumerate the feasible assignments lazily: starting from the empty
+   assignment, compute the firing fixpoint — an instruction fires when its
+   predicate condition holds under the assignment and every required
+   operand port has at least one fired producer (read slots always
+   deliver) — and whenever an *unassigned* predicate producer fires, fork
+   on its two values.  When no firing producer is unassigned the
+   assignment is complete and describes one predicate path, exactly the
+   execution Exec.exec_block would perform for those test outcomes.
+
+   This visits only feasible paths (nested tests that cannot fire under an
+   assignment are never forked on), so the path count tracks the block's
+   real control structure rather than 2^(number of tests). *)
+
+module Isa = Trips_edge.Isa
+module Block = Trips_edge.Block
+
+type producer = Read of int | Inst of int
+
+type path = {
+  assign : (int * bool) list;   (* predicate producer -> delivered truth *)
+  fires : bool array;           (* per instruction *)
+  fire_order : int list;        (* a valid dataflow firing order *)
+}
+
+let default_max_paths = 4096
+
+let pp_assign assign =
+  if assign = [] then "the single path"
+  else
+    "path "
+    ^ String.concat ","
+        (List.map
+           (fun (p, v) -> Printf.sprintf "I%d=%c" p (if v then 'T' else 'F'))
+           (List.sort compare assign))
+
+(* producers per operand port, from targets (reads keyed separately) *)
+let port_map (b : Block.t) : (int * Isa.slot, producer list) Hashtbl.t =
+  let m = Hashtbl.create 64 in
+  let add key p =
+    Hashtbl.replace m key (p :: Option.value ~default:[] (Hashtbl.find_opt m key))
+  in
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      List.iter
+        (function Isa.To_inst (j, s) -> add (j, s) (Inst i) | Isa.To_write _ -> ())
+        ins.Isa.targets)
+    b.insts;
+  Array.iteri
+    (fun r (rd : Block.read) ->
+      List.iter
+        (function Isa.To_inst (j, s) -> add (j, s) (Read r) | Isa.To_write _ -> ())
+        rd.Block.rtargets)
+    b.reads;
+  m
+
+let pred_producers (b : Block.t) : int list =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (ins : Isa.inst) ->
+      match ins.Isa.pred with
+      | Isa.On_true p | Isa.On_false p -> Hashtbl.replace seen p ()
+      | Isa.Unpred -> ())
+    b.insts;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+(* Enumerate the feasible paths of [b].  Returns [paths, truncated]:
+   [truncated] is true when the [max_paths] cap stopped enumeration. *)
+let enumerate ?(max_paths = default_max_paths) (b : Block.t) : path list * bool
+    =
+  let n = Array.length b.insts in
+  let ports = port_map b in
+  let producers key = Option.value ~default:[] (Hashtbl.find_opt ports key) in
+  let preds = pred_producers b in
+  let paths = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let rec explore (assign : (int * bool) list) =
+    if !truncated then ()
+    else begin
+      (* firing fixpoint under the partial assignment *)
+      let fires = Array.make n false in
+      let order = ref [] in
+      let changed = ref true in
+      let pred_ok i =
+        match b.insts.(i).Isa.pred with
+        | Isa.Unpred -> true
+        | Isa.On_true p -> fires.(p) && List.assoc_opt p assign = Some true
+        | Isa.On_false p -> fires.(p) && List.assoc_opt p assign = Some false
+      in
+      let port_fed key =
+        List.exists
+          (function Read _ -> true | Inst j -> fires.(j))
+          (producers key)
+      in
+      while !changed do
+        changed := false;
+        for i = 0 to n - 1 do
+          if not fires.(i) then begin
+            let arity = Isa.operand_arity b.insts.(i) in
+            if
+              pred_ok i
+              && (arity < 1 || port_fed (i, Isa.Op0))
+              && (arity < 2 || port_fed (i, Isa.Op1))
+            then begin
+              fires.(i) <- true;
+              order := i :: !order;
+              changed := true
+            end
+          end
+        done
+      done;
+      (* fork on a fired but unassigned predicate producer *)
+      match
+        List.find_opt
+          (fun p -> fires.(p) && not (List.mem_assoc p assign))
+          preds
+      with
+      | Some p ->
+        explore ((p, true) :: assign);
+        explore ((p, false) :: assign)
+      | None ->
+        incr count;
+        if !count > max_paths then truncated := true
+        else
+          paths :=
+            { assign; fires; fire_order = List.rev !order } :: !paths
+    end
+  in
+  explore [];
+  (List.rev !paths, !truncated)
+
+(* Token kinds for null-flow analysis along one path: which instructions
+   deliver a null token (Null producers, propagated through movs). *)
+let null_kinds (b : Block.t) (p : path) : bool array =
+  let ports = port_map b in
+  let nul = Array.make (Array.length b.insts) false in
+  List.iter
+    (fun i ->
+      match b.insts.(i).Isa.op with
+      | Isa.Null -> nul.(i) <- true
+      | Isa.Mov ->
+        (* the producer that actually fired on this path *)
+        let fired_src =
+          List.find_opt
+            (function Read _ -> true | Inst j -> p.fires.(j))
+            (Option.value ~default:[] (Hashtbl.find_opt ports (i, Isa.Op0)))
+        in
+        (match fired_src with
+        | Some (Inst j) -> nul.(i) <- nul.(j)
+        | Some (Read _) | None -> ())
+      | _ -> ())
+    p.fire_order;
+  nul

@@ -1,0 +1,242 @@
+(* Structural per-block checks: the hardware encoding limits and target
+   well-formedness that Block.validate enforces by exception, re-expressed
+   as structured diagnostics so a lint run can report every violation in a
+   program instead of stopping at the first.  Blocks that fail the target
+   range checks are flagged as unsafe for the deeper dataflow passes. *)
+
+module Isa = Trips_edge.Isa
+module Block = Trips_edge.Block
+
+let diag ~fname ~(b : Block.t) ?inst ?fix ?(sev = Diag.Error) cls msg =
+  Diag.make ~sev ~fname ~block:b.Block.label ?inst ?fix cls msg
+
+(* true when every To_inst / To_write target of the block is in range, so
+   index-based passes can run without bounds failures *)
+let targets_in_range (b : Block.t) =
+  let n = Array.length b.insts in
+  let nw = Array.length b.writes in
+  let ok = function
+    | Isa.To_inst (i, _) -> i >= 0 && i < n
+    | Isa.To_write w -> w >= 0 && w < nw
+  in
+  Array.for_all (fun (ins : Isa.inst) -> List.for_all ok ins.Isa.targets) b.insts
+  && Array.for_all
+       (fun (r : Block.read) -> List.for_all ok r.Block.rtargets)
+       b.reads
+  && Array.for_all
+       (fun (ins : Isa.inst) ->
+         match ins.Isa.pred with
+         | Isa.Unpred -> true
+         | Isa.On_true p | Isa.On_false p -> p >= 0 && p < n)
+       b.insts
+
+let check ~fname (b : Block.t) : Diag.t list =
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  let n = Array.length b.insts in
+  let nw = Array.length b.writes in
+  (* encoding limits *)
+  if n > Isa.max_insts then
+    emit
+      (diag ~fname ~b "limits"
+         (Printf.sprintf "%d instructions exceed the %d-instruction block limit"
+            n Isa.max_insts)
+         ~fix:"shrink the hyperblock formation budget");
+  if Array.length b.reads > Isa.max_reads then
+    emit
+      (diag ~fname ~b "limits"
+         (Printf.sprintf "%d reads exceed the %d read slots" (Array.length b.reads)
+            Isa.max_reads));
+  if nw > Isa.max_writes then
+    emit
+      (diag ~fname ~b "limits"
+         (Printf.sprintf "%d writes exceed the %d write slots" nw Isa.max_writes));
+  if Block.num_lsids b > Isa.max_lsids then
+    emit
+      (diag ~fname ~b "limits"
+         (Printf.sprintf "%d distinct LSIDs exceed the %d-LSID limit"
+            (Block.num_lsids b) Isa.max_lsids));
+  let ex = Block.exits b in
+  if List.length ex > Isa.max_exits then
+    emit
+      (diag ~fname ~b "limits"
+         (Printf.sprintf "%d exits exceed the %d-exit limit" (List.length ex)
+            Isa.max_exits));
+  if ex = [] then
+    emit
+      (diag ~fname ~b "exit-path" "block has no branch instruction"
+         ~fix:"every block must fire exactly one branch");
+  (* LSID values: range and uniqueness (the load/store queue and the
+     store-completion protocol index by LSID value) *)
+  let lsid_owner = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      match ins.Isa.op with
+      | Isa.Load (_, _, lsid) | Isa.Store (_, lsid) ->
+        if lsid < 0 || lsid >= Isa.max_lsids then
+          emit
+            (diag ~fname ~b ~inst:i "lsid-range"
+               (Printf.sprintf "LSID %d outside 0..%d" lsid (Isa.max_lsids - 1))
+               ~fix:"renumber memory operations from 0 in program order");
+        (match Hashtbl.find_opt lsid_owner lsid with
+        | Some j ->
+          emit
+            (diag ~fname ~b ~inst:i "lsid-dup"
+               (Printf.sprintf "LSID %d already used by I%d" lsid j)
+               ~fix:"give every memory operation a distinct LSID")
+        | None -> Hashtbl.replace lsid_owner lsid i)
+      | _ -> ())
+    b.insts;
+  (* target well-formedness and producer bookkeeping *)
+  let in_range = targets_in_range b in
+  let port_producers : (int * Isa.slot, int list) Hashtbl.t = Hashtbl.create 32 in
+  let write_producers = Array.make (max nw 1) [] in
+  let record src tgt =
+    match tgt with
+    | Isa.To_inst (i, s) ->
+      if i < 0 || i >= n then
+        emit
+          (diag ~fname ~b
+             ?inst:(if src >= 0 then Some src else None)
+             "target-range" (Printf.sprintf "target I%d out of range" i))
+      else if i = src then
+        emit (diag ~fname ~b ~inst:src "target-range" "instruction targets itself")
+      else
+        Hashtbl.replace port_producers (i, s)
+          (src :: Option.value ~default:[] (Hashtbl.find_opt port_producers (i, s)))
+    | Isa.To_write w ->
+      if w < 0 || w >= nw then
+        emit
+          (diag ~fname ~b
+             ?inst:(if src >= 0 then Some src else None)
+             "target-range" (Printf.sprintf "write target W%d out of range" w))
+      else write_producers.(w) <- src :: write_producers.(w)
+  in
+  Array.iteri
+    (fun idx (ins : Isa.inst) ->
+      if List.length ins.Isa.targets > 2 then
+        emit
+          (diag ~fname ~b ~inst:idx "fanout"
+             (Printf.sprintf "%d targets exceed the 2-target encoding"
+                (List.length ins.Isa.targets))
+             ~fix:"split the fanout with a mov tree");
+      (match ins.Isa.op with
+      | Isa.Branch _ when ins.Isa.targets <> [] ->
+        emit (diag ~fname ~b ~inst:idx "target-range" "branch with targets")
+      | Isa.Store _ when ins.Isa.targets <> [] ->
+        emit (diag ~fname ~b ~inst:idx "target-range" "store with targets")
+      | _ -> ());
+      List.iter (record idx) ins.Isa.targets)
+    b.insts;
+  Array.iteri
+    (fun ri (r : Block.read) ->
+      if r.Block.rreg < 0 || r.Block.rreg >= Isa.num_regs then
+        emit
+          (diag ~fname ~b "reg-range"
+             (Printf.sprintf "read slot R%d names register r%d" ri r.Block.rreg));
+      if List.length r.Block.rtargets > 2 then
+        emit
+          (diag ~fname ~b "fanout"
+             (Printf.sprintf "read slot R%d has %d targets" ri
+                (List.length r.Block.rtargets)));
+      List.iter (record (-1)) r.Block.rtargets)
+    b.reads;
+  Array.iteri
+    (fun wi (w : Block.write) ->
+      if w.Block.wreg < 0 || w.Block.wreg >= Isa.num_regs then
+        emit
+          (diag ~fname ~b "reg-range"
+             (Printf.sprintf "write slot W%d names register r%d" wi w.Block.wreg)))
+    b.writes;
+  for w = 0 to nw - 1 do
+    if write_producers.(w) = [] then
+      emit
+        (diag ~fname ~b "write-producer"
+           (Printf.sprintf "write slot W%d has no producer" w)
+           ~fix:"target the write from the defining instruction")
+  done;
+  (* operand ports: arity matching, predicate wiring, duplicate
+     unpredicated producers *)
+  if in_range then
+    Array.iteri
+      (fun idx (ins : Isa.inst) ->
+        let producers s =
+          Option.value ~default:[] (Hashtbl.find_opt port_producers (idx, s))
+        in
+        let arity = Isa.operand_arity ins in
+        let need s = producers s = [] in
+        if arity >= 1 && need Isa.Op0 then
+          emit
+            (diag ~fname ~b ~inst:idx "arity" "op0 has no producer"
+               ~fix:"add a dataflow arc delivering the operand");
+        if arity >= 2 && need Isa.Op1 then
+          emit (diag ~fname ~b ~inst:idx "arity" "op1 has no producer");
+        if arity < 2 && not (need Isa.Op1) then
+          emit
+            (diag ~fname ~b ~inst:idx "arity"
+               (Printf.sprintf "op1 producer on an arity-%d instruction" arity));
+        if arity < 1 && not (need Isa.Op0) then
+          emit
+            (diag ~fname ~b ~inst:idx "arity"
+               (Printf.sprintf "op0 producer on an arity-%d instruction" arity));
+        (match ins.Isa.pred with
+        | Isa.Unpred ->
+          if not (need Isa.OpPred) then
+            emit
+              (diag ~fname ~b ~inst:idx "arity"
+                 "unpredicated instruction receives a predicate")
+        | Isa.On_true p | Isa.On_false p ->
+          if need Isa.OpPred then
+            emit
+              (diag ~fname ~b ~inst:idx "arity" "predicate port has no producer"
+                 ~fix:"target the predicate from the test instruction");
+          if p < 0 || p >= n then
+            emit
+              (diag ~fname ~b ~inst:idx "target-range"
+                 (Printf.sprintf "predicate producer I%d out of range" p)));
+        (* two producers that both fire unconditionally on one port *)
+        List.iter
+          (fun s ->
+            let unpred =
+              List.filter
+                (fun src ->
+                  src < 0
+                  || (match b.insts.(src).Isa.pred with
+                     | Isa.Unpred -> true
+                     | _ -> false))
+                (producers s)
+            in
+            if List.length unpred > 1 then
+              emit
+                (diag ~fname ~b ~inst:idx "port-conflict"
+                   (Printf.sprintf "%s has %d unpredicated producers"
+                      (Isa.slot_name s) (List.length unpred))
+                   ~fix:"predicate the producers on opposite arms or merge them"))
+          [ Isa.Op0; Isa.Op1; Isa.OpPred ])
+      b.insts;
+  (* placement geometry *)
+  if Array.length b.placement <> n then
+    emit
+      (diag ~fname ~b "placement"
+         (Printf.sprintf "placement covers %d of %d instructions"
+            (Array.length b.placement) n))
+  else begin
+    let occupancy = Array.make Isa.num_ets 0 in
+    Array.iteri
+      (fun i et ->
+        if et < 0 || et >= Isa.num_ets then
+          emit
+            (diag ~fname ~b ~inst:i "placement"
+               (Printf.sprintf "tile %d outside the %d-tile grid" et Isa.num_ets))
+        else occupancy.(et) <- occupancy.(et) + 1)
+      b.placement;
+    Array.iteri
+      (fun et c ->
+        if c > Isa.et_slots then
+          emit
+            (diag ~fname ~b "placement"
+               (Printf.sprintf "tile %d holds %d instructions (max %d slots)" et c
+                  Isa.et_slots)))
+      occupancy
+  end;
+  List.rev !out

@@ -1,0 +1,14 @@
+(** Structural per-block checks: the encoding limits and target
+    well-formedness of {!Trips_edge.Block.validate} re-expressed as
+    diagnostics (every violation reported, not just the first), plus LSID
+    value range/uniqueness and tile-occupancy checks.
+
+    Classes: ["limits"], ["lsid-range"], ["lsid-dup"], ["target-range"],
+    ["fanout"], ["reg-range"], ["write-producer"], ["arity"],
+    ["port-conflict"], ["placement"], ["exit-path"] (no branch at all). *)
+
+val targets_in_range : Trips_edge.Block.t -> bool
+(** True when every target and predicate index is in range, i.e. the
+    index-based dataflow passes can run without bounds failures. *)
+
+val check : fname:string -> Trips_edge.Block.t -> Diag.t list

@@ -50,6 +50,28 @@ let basic_blocks =
     budget = Hyperblock.basic_block_budget;
   }
 
+exception Verify_failed of string * Trips_analysis.Diag.t list
+
+(* Post-pass self-check: run the static analyzer on what a pass just
+   produced and name the pass if it introduced an error-level violation.
+   Warnings (dead code, dead writes) are reported by `lint`, not here: a
+   verification failure must mean the output is unrunnable. *)
+let verify_stage ~stage ?known_funcs (bf : Block.func) =
+  let ds =
+    List.filter
+      (fun (d : Trips_analysis.Diag.t) -> d.Trips_analysis.Diag.sev = Trips_analysis.Diag.Error)
+      (Trips_analysis.Analyzer.analyze_func ?known_funcs bf)
+  in
+  if ds <> [] then raise (Verify_failed (stage, ds))
+
+let verify_program ~stage (p : Block.program) =
+  let ds =
+    List.filter
+      (fun (d : Trips_analysis.Diag.t) -> d.Trips_analysis.Diag.sev = Trips_analysis.Diag.Error)
+      (Trips_analysis.Analyzer.analyze_program p)
+  in
+  if ds <> [] then raise (Verify_failed (stage, ds))
+
 let copy_func (f : Cfg.func) : Cfg.func =
   {
     f with
@@ -81,7 +103,7 @@ let split_large_blocks ~cap ~mem_cap (f : Cfg.func) =
   in
   f.blocks <- List.concat_map split_block f.blocks
 
-let compile_func preset ~layout (fn : Cfg.func) : Block.func =
+let compile_func ?(verify = false) preset ~layout (fn : Cfg.func) : Block.func =
   let rec attempt budget cap =
     let fn' = copy_func fn in
     split_large_blocks ~cap ~mem_cap:(budget.Hyperblock.max_mem - 4 |> max 4) fn';
@@ -111,10 +133,12 @@ let compile_func preset ~layout (fn : Cfg.func) : Block.func =
         attempt budget (max 6 (cap * 2 / 3))
   in
   let bf = attempt preset.budget (max 8 (preset.budget.Hyperblock.max_ins * 3 / 4)) in
+  if verify then verify_stage ~stage:"dataflow-convert" bf;
   List.iter Schedule.place bf.Block.blocks;
+  if verify then verify_stage ~stage:"schedule" bf;
   bf
 
-let compile preset (p : Ast.program) : Block.program =
+let compile ?(verify = false) preset (p : Ast.program) : Block.program =
   let p = if preset.inline_pass then Transform.inline p else p in
   let p =
     if preset.unroll > 1 then Transform.unroll_program ~factor:preset.unroll p else p
@@ -122,7 +146,8 @@ let compile preset (p : Ast.program) : Block.program =
   let cfg = Lower.program p in
   if preset.optimize then Opt.run_program cfg;
   let layout = Image.layout cfg.Cfg.globals in
-  let funcs = List.map (compile_func preset ~layout) cfg.Cfg.funcs in
+  let funcs = List.map (compile_func ~verify preset ~layout) cfg.Cfg.funcs in
   let prog = { Block.globals = cfg.Cfg.globals; funcs } in
   Block.validate_program prog;
+  if verify then verify_program ~stage:"link" prog;
   prog

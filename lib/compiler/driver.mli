@@ -28,10 +28,20 @@ val compiled : preset
 val hand : preset
 val basic_blocks : preset
 
-val compile : preset -> Trips_tir.Ast.program -> Trips_edge.Block.program
-(** @raise Failure when a function cannot be made to fit even at the
+exception Verify_failed of string * Trips_analysis.Diag.t list
+(** [(stage, findings)]: the static analyzer found error-level violations
+    in the output of a compilation stage ("dataflow-convert", "schedule"
+    or "link"), i.e. that stage introduced them. *)
+
+val compile :
+  ?verify:bool -> preset -> Trips_tir.Ast.program -> Trips_edge.Block.program
+(** [~verify:true] runs the {!Trips_analysis.Analyzer} after each
+    block-producing stage and raises {!Verify_failed} naming the stage
+    that introduced a violation.
+    @raise Failure when a function cannot be made to fit even at the
     smallest budget (e.g. a single instruction stream with >32 live-in
     registers). *)
 
 val compile_func :
+  ?verify:bool ->
   preset -> layout:(string * int) list -> Trips_tir.Cfg.func -> Trips_edge.Block.func

@@ -2,9 +2,10 @@ module Isa = Trips_edge.Isa
 module Block = Trips_edge.Block
 
 (* 5x5 mesh: (0,0) = GT, (0,1..4) = RT0..3, (1..4,0) = DT0..3,
-   (1..4,1..4) = the 4x4 ET grid. *)
-let tile_position et = ((et / 4) + 1, (et mod 4) + 1)
-let rt_position reg = (0, (reg / 32) + 1)
+   (1..4,1..4) = the ET grid (geometry shared with Isa/Block via
+   Isa.et_grid/num_ets/et_slots). *)
+let tile_position et = ((et / Isa.et_grid) + 1, (et mod Isa.et_grid) + 1)
+let rt_position reg = (0, (reg / (Isa.num_regs / Isa.reg_banks)) + 1)
 let dt_position bank = ((bank land 3) + 1, 0)
 let gt_position = (0, 0)
 
@@ -61,7 +62,7 @@ let place (b : Block.t) =
            validator's error surfaces instead of a crash here *)
         List.init n (fun i -> i)
     in
-    let occupancy = Array.make 16 0 in
+    let occupancy = Array.make Isa.num_ets 0 in
     let writes_to_rt i =
       List.filter_map
         (function
@@ -86,8 +87,8 @@ let place (b : Block.t) =
         in
         let best = ref (-1) in
         let best_cost = ref max_int in
-        for et = 0 to 15 do
-          if occupancy.(et) < 8 then begin
+        for et = 0 to Isa.num_ets - 1 do
+          if occupancy.(et) < Isa.et_slots then begin
             let pos = tile_position et in
             let c =
               List.fold_left (fun acc a -> acc + dist a pos) 0 anchors

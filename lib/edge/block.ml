@@ -56,7 +56,7 @@ let num_lsids b =
   Hashtbl.length seen
 
 let default_placement b =
-  b.placement <- Array.init (Array.length b.insts) (fun i -> i mod 16)
+  b.placement <- Array.init (Array.length b.insts) (fun i -> i mod Isa.num_ets)
 
 exception Invalid of string * string
 
@@ -68,17 +68,42 @@ let validate b =
   if Array.length b.reads > Isa.max_reads then fail b "too many reads";
   if Array.length b.writes > Isa.max_writes then fail b "too many writes";
   if num_lsids b > Isa.max_lsids then fail b "too many LSIDs";
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      match ins.op with
+      | Isa.Load (_, _, lsid) | Isa.Store (_, lsid) ->
+        if lsid < 0 || lsid >= Isa.max_lsids then
+          fail b (Printf.sprintf "I%d LSID %d out of range" i lsid)
+      | _ -> ())
+    b.insts;
   let ex = exits b in
   if ex = [] then fail b "no exit branch";
   if List.length ex > Isa.max_exits then fail b "too many exits";
   (* per-slot producer bookkeeping *)
   let producers = Array.make n [] in           (* port lists per inst *)
   let write_producers = Array.make (Array.length b.writes) 0 in
+  (* unpredicated producers per port: two of them on one port is a
+     guaranteed double delivery at run time, only producers in opposite
+     predicate arms may legally share a port *)
+  let unpred_producers : (int * Isa.slot, int) Hashtbl.t = Hashtbl.create 16 in
+  let src_unpredicated src =
+    src < 0 (* read slots always deliver *)
+    || (match b.insts.(src).Isa.pred with Isa.Unpred -> true | _ -> false)
+  in
   let record src = function
     | Isa.To_inst (i, s) ->
       if i < 0 || i >= n then fail b (Printf.sprintf "target I%d out of range" i);
       if i = src then fail b (Printf.sprintf "I%d targets itself" i);
-      producers.(i) <- s :: producers.(i)
+      producers.(i) <- s :: producers.(i);
+      if src_unpredicated src then begin
+        let k = (i, s) in
+        let c = 1 + Option.value ~default:0 (Hashtbl.find_opt unpred_producers k) in
+        if c > 1 then
+          fail b
+            (Printf.sprintf "I%d.%s has %d unpredicated producers" i
+               (Isa.slot_name s) c);
+        Hashtbl.replace unpred_producers k c
+      end
     | Isa.To_write w ->
       if w < 0 || w >= Array.length b.writes then
         fail b (Printf.sprintf "write target W%d out of range" w);
@@ -133,7 +158,8 @@ let validate b =
   (* placement sanity *)
   if Array.length b.placement <> n then fail b "placement length mismatch";
   Array.iter
-    (fun et -> if et < 0 || et >= 16 then fail b "placement tile out of range")
+    (fun et ->
+      if et < 0 || et >= Isa.num_ets then fail b "placement tile out of range")
     b.placement
 
 let validate_program p =

@@ -9,6 +9,13 @@ let max_exits = 8
 let num_regs = 128
 let reg_banks = 4
 
+(* Execution-tile mesh geometry: a 4x4 ET grid, 8 reservation-station
+   slots per ET per block (16 * 8 = the 128-instruction block limit).
+   Shared by the scheduler, the default placement and the validator. *)
+let et_grid = 4
+let num_ets = et_grid * et_grid
+let et_slots = 8
+
 type slot = Op0 | Op1 | OpPred
 
 type target =

@@ -22,6 +22,13 @@ val max_exits : int
 val num_regs : int
 val reg_banks : int
 
+(* Execution-tile mesh geometry (single source of truth for the scheduler,
+   the default placement and the block validator): a 4x4 ET grid with 8
+   reservation-station slots per tile per block. *)
+val et_grid : int
+val num_ets : int
+val et_slots : int
+
 type slot = Op0 | Op1 | OpPred
 (** Operand ports of a consumer instruction. *)
 
@@ -76,5 +83,7 @@ val latency : opcode -> int
     integer ops, pipelined multi-cycle multiply/divide/FP, cache-hit loads
     get their latency from the memory model instead). *)
 
+val slot_name : slot -> string
+val opcode_name : opcode -> string
 val pp_inst : Format.formatter -> inst -> unit
 val pp_target : Format.formatter -> target -> unit
