@@ -166,7 +166,7 @@ let lint_program (preset : Driver.preset) (b : Registry.bench) :
   | Error e ->
     ( None,
       [
-        Diag.make ~fname:b.Registry.name "compile-fail"
+        Diag.make ~pass:"driver" ~fname:b.Registry.name "compile-fail"
           (Printf.sprintf "compilation failed: %s" (Printexc.to_string e));
       ] )
 
@@ -298,6 +298,288 @@ let lint_cmd =
     Term.(
       ret (const lint_main $ benches $ all $ presets $ format $ strict $ out))
 
+(* -- timing ----------------------------------------------------------- *)
+
+module Timing = Trips_analysis.Timing
+
+let timing_main benches all simple preset format top xval out =
+  try
+    let q = quality_of preset in
+    let benches =
+      if all then Registry.all
+      else if simple then Registry.simple_suite
+      else if benches = [] then Registry.simple_suite
+      else List.map Registry.find benches
+    in
+    let model = Timing_xv.model_of Core.prototype in
+    let per_bench =
+      List.map
+        (fun (b : Registry.bench) ->
+          let p = Timing_xv.predict q b in
+          let measured =
+            if xval then
+              Some (Platforms.trips q b).Core.timing.Core.cycles
+            else None
+          in
+          (b, p, measured))
+        benches
+    in
+    let top_blocks (p : Timing_xv.prediction) =
+      let items =
+        Hashtbl.fold
+          (fun label (s : Timing.summary) acc ->
+            let count =
+              Option.value ~default:0 (Hashtbl.find_opt p.Timing_xv.pr_counts label)
+            in
+            (* rank by dynamic contribution; never-executed blocks last *)
+            ((count * Timing.predicted_block_cost model s, s.Timing.s_crit), label, count, s)
+            :: acc)
+          p.Timing_xv.pr_summaries []
+      in
+      let sorted =
+        List.sort (fun (w1, _, _, _) (w2, _, _, _) -> compare w2 w1) items
+      in
+      List.filteri (fun i _ -> i < top) sorted
+      |> List.map (fun (_, label, count, s) -> (label, count, s))
+    in
+    let block_json (label, count, (s : Timing.summary)) =
+      let bk = s.Timing.s_breakdown in
+      Json.Obj
+        [
+          ("label", Json.Str label);
+          ("instances", Json.Int count);
+          ("insts", Json.Int s.Timing.s_n);
+          ("crit", Json.Int s.Timing.s_crit);
+          ( "breakdown",
+            Json.Obj
+              [
+                ("compute", Json.Int bk.Timing.bk_compute);
+                ("route", Json.Int bk.Timing.bk_route);
+                ("memory", Json.Int bk.Timing.bk_memory);
+                ("overhead", Json.Int bk.Timing.bk_overhead);
+              ] );
+          ("pred_depth", Json.Int s.Timing.s_pred_depth);
+          ("link_max", Json.Int s.Timing.s_link_max);
+          ("contention_est", Json.Int s.Timing.s_contention_est);
+        ]
+    in
+    let err_pct pred = function
+      | Some m when m <> 0 ->
+        Some (100. *. float_of_int (pred - m) /. float_of_int m)
+      | _ -> None
+    in
+    let report_json =
+      let programs =
+        List.map
+          (fun ((b : Registry.bench), (p : Timing_xv.prediction), measured) ->
+            Json.Obj
+              ([
+                 ("bench", Json.Str b.Registry.name);
+                 ("preset", Json.Str (Platforms.quality_tag q));
+                 ("predicted_cycles", Json.Int p.Timing_xv.pr_cycles);
+               ]
+              @ (match measured with
+                | Some m ->
+                  [ ("measured_cycles", Json.Int m) ]
+                  @
+                  (match err_pct p.Timing_xv.pr_cycles measured with
+                  | Some e -> [ ("error_pct", Json.Float e) ]
+                  | None -> [])
+                | None -> [])
+              @ [
+                  ("blocks", Json.Int p.Timing_xv.pr_blocks);
+                  ("mispredicts", Json.Int p.Timing_xv.pr_mispredicts);
+                  ("top_blocks", Json.List (List.map block_json (top_blocks p)));
+                  ("findings", Diag.list_to_json p.Timing_xv.pr_diags);
+                ]))
+          per_bench
+      in
+      let all_ds =
+        List.concat_map (fun (_, p, _) -> p.Timing_xv.pr_diags) per_bench
+      in
+      let xv_summary =
+        if xval then begin
+          let pairs =
+            List.filter_map
+              (fun (_, (p : Timing_xv.prediction), m) ->
+                Option.map
+                  (fun m -> (float_of_int p.Timing_xv.pr_cycles, float_of_int m))
+                  m)
+              per_bench
+          in
+          let predicted = List.map fst pairs and actual = List.map snd pairs in
+          [
+            ("pearson", Json.Float (Trips_util.Stats.pearson predicted actual));
+            ("mape", Json.Float (Trips_util.Stats.mape ~predicted ~actual));
+          ]
+        end
+        else []
+      in
+      Json.Obj
+        [
+          ("programs", Json.List programs);
+          ( "summary",
+            Json.Obj
+              ([
+                 ("programs", Json.Int (List.length per_bench));
+                 ("warnings", Json.Int (Diag.warnings all_ds));
+               ]
+              @ xv_summary) );
+        ]
+    in
+    (match format with
+    | "txt" ->
+      List.iter
+        (fun ((b : Registry.bench), (p : Timing_xv.prediction), measured) ->
+          Printf.printf "%s [%s]: predicted %d cycles" b.Registry.name
+            (Platforms.quality_tag q) p.Timing_xv.pr_cycles;
+          (match measured with
+          | Some m ->
+            Printf.printf " (measured %d" m;
+            (match err_pct p.Timing_xv.pr_cycles measured with
+            | Some e -> Printf.printf ", %+.1f%%" e
+            | None -> ());
+            print_string ")"
+          | None -> ());
+          Printf.printf ", %d block instance(s), %d mispredict(s)\n"
+            p.Timing_xv.pr_blocks p.Timing_xv.pr_mispredicts;
+          let t =
+            Trips_util.Table.create
+              [
+                ("block", Trips_util.Table.Left);
+                ("instances", Trips_util.Table.Right);
+                ("insts", Trips_util.Table.Right);
+                ("crit", Trips_util.Table.Right);
+                ("compute", Trips_util.Table.Right);
+                ("route", Trips_util.Table.Right);
+                ("memory", Trips_util.Table.Right);
+                ("overhead", Trips_util.Table.Right);
+                ("pred", Trips_util.Table.Right);
+                ("link", Trips_util.Table.Right);
+              ]
+          in
+          List.iter
+            (fun (label, count, (s : Timing.summary)) ->
+              let bk = s.Timing.s_breakdown in
+              Trips_util.Table.add_row t
+                [
+                  label;
+                  string_of_int count;
+                  string_of_int s.Timing.s_n;
+                  string_of_int s.Timing.s_crit;
+                  string_of_int bk.Timing.bk_compute;
+                  string_of_int bk.Timing.bk_route;
+                  string_of_int bk.Timing.bk_memory;
+                  string_of_int bk.Timing.bk_overhead;
+                  string_of_int s.Timing.s_pred_depth;
+                  string_of_int s.Timing.s_link_max;
+                ])
+            (top_blocks p);
+          Trips_util.Table.print t;
+          print_string (Diag.render_text p.Timing_xv.pr_diags);
+          print_newline ())
+        per_bench;
+      if xval then begin
+        let pairs =
+          List.filter_map
+            (fun (_, (p : Timing_xv.prediction), m) ->
+              Option.map
+                (fun m -> (float_of_int p.Timing_xv.pr_cycles, float_of_int m))
+                m)
+            per_bench
+        in
+        let predicted = List.map fst pairs and actual = List.map snd pairs in
+        Printf.printf "cross-validation: %d program(s), pearson %.3f, mape %.1f%%\n"
+          (List.length pairs)
+          (Trips_util.Stats.pearson predicted actual)
+          (Trips_util.Stats.mape ~predicted ~actual)
+      end
+    | "json" -> print_string (Json.to_string report_json)
+    | f -> invalid_arg ("unknown format " ^ f ^ " (txt|json)"));
+    (match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string report_json);
+      close_out oc;
+      Printf.eprintf "timing report: %s\n" file
+    | None -> ());
+    `Ok ()
+  with
+  | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+  | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
+
+let timing_cmd =
+  let doc =
+    "Statically predict block and program cycle counts from the schedule."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the static critical-path timing analyzer over the compiled \
+         EDGE blocks of the selected benchmarks: per-block weighted \
+         critical path with a compute/route/memory/overhead breakdown, \
+         placement-quality findings (long operand routes on the critical \
+         path, ET hotspots, over-serialized predicate chains, register \
+         round-trips), and a whole-program cycle prediction obtained by \
+         composing the per-block summaries over the functional \
+         execution's block trace with the next-block predictor replayed.";
+      `P
+        "With $(b,--xval) the cycle-level simulator also runs and the \
+         report gains measured cycles, per-benchmark error and \
+         Pearson/MAPE aggregates.";
+    ]
+  in
+  let benches =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark to analyze (repeatable).")
+  in
+  let all =
+    Arg.(
+      value & flag & info [ "all" ] ~doc:"Analyze every registered benchmark.")
+  in
+  let simple =
+    Arg.(
+      value & flag
+      & info [ "simple" ] ~doc:"Analyze the paper's Simple suite (default).")
+  in
+  let preset =
+    Arg.(
+      value & opt string "C"
+      & info [ "preset" ] ~docv:"C|H" ~doc:"Code quality.")
+  in
+  let format =
+    Arg.(
+      value & opt string "txt"
+      & info [ "format" ] ~docv:"txt|json" ~doc:"Report rendering.")
+  in
+  let top =
+    Arg.(
+      value & opt int 3
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Blocks to detail per benchmark, hottest first.")
+  in
+  let xval =
+    Arg.(
+      value & flag
+      & info [ "xval" ]
+          ~doc:"Cross-validate: also run the cycle-level simulator.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "timing" ~doc ~man)
+    Term.(
+      ret
+        (const timing_main $ benches $ all $ simple $ preset $ format $ top
+        $ xval $ out))
+
 (* -- default: the parallel experiment engine -------------------------- *)
 
 module Engine = Trips_engine.Engine
@@ -423,4 +705,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:default_term info
-          [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd ]))
+          [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd ]))

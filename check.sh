@@ -17,6 +17,25 @@ dune runtest
 echo "== static analyzer: trips_run lint --all --strict =="
 dune exec bin/trips_run.exe -- lint --all --strict --out lint-report.json
 
+echo "== static timing: trips_run timing --simple --xval =="
+dune exec bin/trips_run.exe -- timing --simple --xval --preset C --format json \
+  --out timing-report.json >/dev/null
+mape=$(sed -n 's/.*"mape": \([0-9.eE+-]*\).*/\1/p' timing-report.json | tail -1)
+pearson=$(sed -n 's/.*"pearson": \([0-9.eE+-]*\).*/\1/p' timing-report.json | tail -1)
+max_mape=$(sed -n 's/.*"max_mape": \([0-9.]*\).*/\1/p' bench/BENCH_timing.json)
+min_pearson=$(sed -n 's/.*"min_pearson": \([0-9.]*\).*/\1/p' bench/BENCH_timing.json)
+awk -v m="$mape" -v p="$pearson" -v mm="$max_mape" -v mp="$min_pearson" 'BEGIN {
+  if (m == "" || p == "") {
+    print "timing cross-validation: summary missing from timing-report.json" > "/dev/stderr"
+    exit 1
+  }
+  printf "timing cross-validation: mape %.1f%% (max %.1f), pearson %.3f (min %.2f)\n", m, mm, p, mp
+  if (m + 0 > mm + 0 || p + 0 < mp + 0) {
+    print "timing cross-validation regressed past bench/BENCH_timing.json thresholds" > "/dev/stderr"
+    exit 1
+  }
+}'
+
 echo "== engine smoke: trips_run --id table1 --jobs 2 --format json =="
 out=$(dune exec bin/trips_run.exe -- --id table1 --jobs 2 --format json 2>/dev/null)
 echo "$out" | grep -q '"title": "Table 1' || {

@@ -43,7 +43,7 @@ let analyze_program ?(options = default_options) (p : Block.program) :
             match Hashtbl.find_opt owner b.Block.label with
             | Some other ->
               dups :=
-                Diag.make ~fname:f.Block.fname ~block:b.Block.label
+                Diag.make ~pass:"liveness" ~fname:f.Block.fname ~block:b.Block.label
                   "branch-target"
                   (Printf.sprintf "duplicate block label (also in %s)" other)
                 :: !dups

@@ -20,7 +20,7 @@ module Isa = Trips_edge.Isa
 module Block = Trips_edge.Block
 
 let diag ~fname ~(b : Block.t) ?inst ?fix ?(sev = Diag.Error) cls msg =
-  Diag.make ~sev ~fname ~block:b.Block.label ?inst ?fix cls msg
+  Diag.make ~sev ~pass:"paths" ~fname ~block:b.Block.label ?inst ?fix cls msg
 
 (* instructions whose result (transitively) reaches a write, store or
    branch; predicate arcs count as uses *)

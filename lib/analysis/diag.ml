@@ -2,6 +2,7 @@ type severity = Info | Warning | Error
 
 type t = {
   sev : severity;
+  pass : string;
   cls : string;
   fname : string;
   block : string;
@@ -10,8 +11,8 @@ type t = {
   fix : string option;
 }
 
-let make ?(sev = Error) ?(fname = "") ?(block = "") ?inst ?fix cls msg =
-  { sev; cls; fname; block; inst; msg; fix }
+let make ?(sev = Error) ?(pass = "") ?(fname = "") ?(block = "") ?inst ?fix cls msg =
+  { sev; pass; cls; fname; block; inst; msg; fix }
 
 let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
 
@@ -66,6 +67,7 @@ let to_json d =
   J.Obj
     ([
        ("severity", J.Str (severity_name d.sev));
+       ("pass", J.Str d.pass);
        ("class", J.Str d.cls);
        ("function", J.Str d.fname);
        ("block", J.Str d.block);

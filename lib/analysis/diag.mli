@@ -9,6 +9,9 @@ type severity = Info | Warning | Error
 
 type t = {
   sev : severity;
+  pass : string;          (* originating analysis pass: "structure", "paths",
+                             "liveness", "timing" ("driver" for compile
+                             failures reported by the lint CLI) *)
   cls : string;           (* stable diagnostic class identifier *)
   fname : string;         (* enclosing function, "" when unknown *)
   block : string;         (* block label, "" for program-level findings *)
@@ -19,6 +22,7 @@ type t = {
 
 val make :
   ?sev:severity ->
+  ?pass:string ->
   ?fname:string ->
   ?block:string ->
   ?inst:int ->
@@ -26,7 +30,9 @@ val make :
   string ->
   string ->
   t
-(** [make cls msg] builds a diagnostic; severity defaults to [Error]. *)
+(** [make cls msg] builds a diagnostic; severity defaults to [Error].
+    [pass] names the originating analysis pass (stable, machine-consumed:
+    lint and timing JSON reports can be merged and filtered on it). *)
 
 val severity_name : severity -> string
 val sort : t list -> t list

@@ -28,7 +28,7 @@ let abi_args = [ 2; 3; 4; 5; 6; 7; 8; 9 ]
 let abi_entry_regs = IS.of_list (0 :: abi_ret :: abi_args)
 
 let diag ~fname ?block ?inst ?fix ?(sev = Diag.Error) cls msg =
-  Diag.make ~sev ~fname ?block ?inst ?fix cls msg
+  Diag.make ~sev ~pass:"liveness" ~fname ?block ?inst ?fix cls msg
 
 let block_uses (b : Block.t) =
   Array.fold_left (fun s (r : Block.read) -> IS.add r.Block.rreg s) IS.empty b.reads

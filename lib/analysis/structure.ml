@@ -8,7 +8,7 @@ module Isa = Trips_edge.Isa
 module Block = Trips_edge.Block
 
 let diag ~fname ~(b : Block.t) ?inst ?fix ?(sev = Diag.Error) cls msg =
-  Diag.make ~sev ~fname ~block:b.Block.label ?inst ?fix cls msg
+  Diag.make ~sev ~pass:"structure" ~fname ~block:b.Block.label ?inst ?fix cls msg
 
 (* true when every To_inst / To_write target of the block is in range, so
    index-based passes can run without bounds failures *)

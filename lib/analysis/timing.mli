@@ -1,0 +1,120 @@
+(** Static critical-path timing analysis of scheduled EDGE blocks.
+
+    The cost model is the optimistic core of the cycle-level simulator:
+    progressive dispatch, dataflow issue with per-opcode latencies from
+    {!Trips_edge.Isa.latency}, operand-network hops as Manhattan distance
+    on the {!Trips_edge.Isa} mesh geometry, and cache-hit memory latency —
+    but no link contention, no per-tile issue serialization and no cache
+    misses.  On an unpredicated block every modeled event is therefore a
+    lower bound on the corresponding simulator event.
+
+    Each block is summarized as a max-plus system: every output (write
+    slot, memory completion, per-exit branch resolution) is the max of a
+    constant lag from dispatch and a lag from each read slot's register
+    availability.  Summaries compose over a dynamic block trace ({!step}),
+    which is how the cross-validation harness predicts whole-program
+    cycles without the cycle-level simulator. *)
+
+(** Timing parameters, mirroring [Trips_sim.Core.config]. *)
+type model = {
+  dispatch_rate : int;         (** instructions dispatched per cycle *)
+  fetch_interval : int;        (** min cycles between back-to-back fetches *)
+  redirect_penalty : int;      (** fetch restart after a misprediction *)
+  commit_overhead : int;       (** distributed commit protocol *)
+  window_blocks : int;         (** in-flight block frames *)
+  l1i_hit : int;               (** I-cache hit latency *)
+  l1d_hit : int;               (** D-cache hit latency *)
+}
+
+val prototype : model
+(** The TRIPS prototype parameters (same numbers as
+    [Trips_sim.Core.prototype] and the [Trips_mem] cache configs). *)
+
+val op_latency : Trips_edge.Isa.opcode -> int
+(** Per-opcode execution latency used by the analyzer — the single shared
+    table [Trips_edge.Isa.latency], re-exported so tests can assert the
+    analyzer and the simulator agree on every opcode. *)
+
+val neg : int
+(** Sentinel for "no path" in the summary lag tables. *)
+
+(** Decomposition of the critical path into cost sources. *)
+type breakdown = {
+  bk_compute : int;            (** execution latency on the critical path *)
+  bk_route : int;              (** OPN hop cycles on the critical path *)
+  bk_memory : int;             (** D-cache pipeline cycles on the path *)
+  bk_overhead : int;           (** dispatch waits on the critical path *)
+}
+
+(** Static timing summary of one scheduled block.  All lags are in cycles
+    relative to the block's dispatch start; [neg] marks "no path". *)
+type summary = {
+  s_label : string;
+  s_n : int;                   (** instruction count *)
+  s_crit : int;                (** weighted critical path *)
+  s_completion : int array;    (** per-inst earliest completion *)
+  s_slack : int array;         (** per-inst slack against [s_crit] *)
+  s_breakdown : breakdown;
+  s_tile_load : int array;     (** instructions placed per ET *)
+  s_link_max : int;            (** static messages on the busiest OPN link *)
+  s_contention_est : int;      (** advisory estimate of link contention *)
+  s_pred_depth : int;          (** deepest chain of dependent predicates *)
+  s_reads : int array;         (** read slot -> architectural register *)
+  s_writes : int array;        (** write slot -> architectural register *)
+  s_exit_insts : int array;    (** branch instruction per exit, in
+                                   [Block.exits] order *)
+  s_dispatch_done : int;
+  s_base_write : int array;
+  s_base_mem : int;
+  s_base_resolve : int array;
+  s_read_write : int array array;
+  s_read_mem : int array;
+  s_read_resolve : int array array;
+}
+
+type options = { model : model }
+
+val default_options : options
+
+val analyze_block :
+  ?options:options -> fname:string -> Trips_edge.Block.t ->
+  summary * Diag.t list
+(** Analyze one scheduled block: build the dependence DAG, compute the
+    weighted critical path, slack map and cost breakdown, and emit
+    [pass:"timing"] placement-quality diagnostics (route-critical,
+    et-hotspot, opn-hotspot, pred-chain).  Blocks without a valid
+    placement or with a cyclic dataflow graph get a degenerate summary
+    plus a ["timing-skipped"] diagnostic. *)
+
+val summarize_program :
+  ?options:options -> Trips_edge.Block.program ->
+  (string, summary) Hashtbl.t * Diag.t list
+(** Summaries for every block (keyed by label), all per-block diagnostics,
+    plus cross-block ["reg-roundtrip"] findings: a register write carrying
+    the critical path from a block into its unique jump successor. *)
+
+val predicted_block_cost : model -> summary -> int
+(** Standalone per-block latency estimate: fetch + critical path + commit
+    overhead, ignoring inter-block overlap. *)
+
+(** {1 Trace composition}
+
+    Replays a dynamic block trace over the static summaries, mirroring
+    the simulator's fetch/commit bookkeeping (fetch pipelining, block
+    window, register-ready forwarding, misprediction redirects). *)
+
+type state
+
+val create : model -> state
+
+val step : state -> summary -> exit_idx:int -> prev_correct:bool -> unit
+(** Account one block instance.  [exit_idx] indexes [s_exit_insts] /
+    [Block.exits] order; [prev_correct] says whether the predictor had
+    correctly anticipated this instance (false triggers the redirect
+    penalty). *)
+
+val cycles : state -> int
+(** Predicted total cycles: commit time of the last stepped block. *)
+
+val blocks_stepped : state -> int
+val mispredicts : state -> int

@@ -2,14 +2,15 @@ module Isa = Trips_edge.Isa
 module Block = Trips_edge.Block
 
 (* 5x5 mesh: (0,0) = GT, (0,1..4) = RT0..3, (1..4,0) = DT0..3,
-   (1..4,1..4) = the ET grid (geometry shared with Isa/Block via
-   Isa.et_grid/num_ets/et_slots). *)
-let tile_position et = ((et / Isa.et_grid) + 1, (et mod Isa.et_grid) + 1)
-let rt_position reg = (0, (reg / (Isa.num_regs / Isa.reg_banks)) + 1)
-let dt_position bank = ((bank land 3) + 1, 0)
-let gt_position = (0, 0)
+   (1..4,1..4) = the ET grid.  The geometry lives in Isa (shared with the
+   block validator, the cycle simulator and the static timing analyzer);
+   these are re-exports so scheduler clients keep one import. *)
+let tile_position = Isa.tile_position
+let rt_position = Isa.rt_position
+let dt_position = Isa.dt_position
+let gt_position = Isa.gt_position
 
-let dist (r1, c1) (r2, c2) = abs (r1 - r2) + abs (c1 - c2)
+let dist = Isa.mesh_dist
 
 let place (b : Block.t) =
   let n = Array.length b.insts in

@@ -16,6 +16,18 @@ let et_grid = 4
 let num_ets = et_grid * et_grid
 let et_slots = 8
 
+(* Physical positions on the 5x5 OPN mesh: (0,0) = GT, (0,1..4) = RT0..3,
+   (1..4,0) = DT0..3, (1..4,1..4) = the ET grid.  One source of truth for
+   the scheduler's anchors, the cycle-level simulator's routing and the
+   static timing analyzer's hop costs. *)
+let tile_position et = ((et / et_grid) + 1, (et mod et_grid) + 1)
+let rt_position reg = (0, (reg / (num_regs / reg_banks)) + 1)
+let dt_position bank = ((bank land 3) + 1, 0)
+let gt_position = (0, 0)
+let num_dt_banks = 4
+
+let mesh_dist (r1, c1) (r2, c2) = abs (r1 - r2) + abs (c1 - c2)
+
 type slot = Op0 | Op1 | OpPred
 
 type target =

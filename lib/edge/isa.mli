@@ -29,6 +29,20 @@ val et_grid : int
 val num_ets : int
 val et_slots : int
 
+(** Physical (row, col) positions on the 5x5 OPN mesh: row 0 holds the
+    global tile and the four register tiles, column 0 the four data tiles,
+    the inner 4x4 the execution tiles.  Single source of truth shared by
+    the scheduler ({!Trips_compiler.Schedule}), the cycle-level simulator
+    and the static timing analyzer. *)
+val tile_position : int -> int * int
+val rt_position : int -> int * int
+val dt_position : int -> int * int
+val gt_position : int * int
+val num_dt_banks : int
+
+val mesh_dist : int * int -> int * int -> int
+(** Manhattan distance between two mesh positions = uncontended OPN hops. *)
+
 type slot = Op0 | Op1 | OpPred
 (** Operand ports of a consumer instruction. *)
 

@@ -190,6 +190,19 @@ let all =
            w_super Ooo.pentium4 true m; w_super Ooo.pentium3 true m;
          ])
       Perf_figs.flops;
+    experiment ~id:"timing" ~title:"Static timing analyzer cross-validation"
+      ~claim:
+        "The static critical-path model predicts whole-program cycles from one \
+         functional execution; predictions correlate with the cycle-level \
+         simulator (Pearson >= 0.9) and stay within 25% MAPE, tracking from \
+         below (no contention, no cache misses)"
+      ~warm:
+        (List.concat_map
+           (fun (b : Registry.bench) ->
+             [ w_trips Platforms.C b;
+               (fun () -> ignore (Timing_xv.predict Platforms.C b)) ])
+           Registry.all)
+      Timing_xv.crossval;
   ]
 
 let find id = List.find (fun e -> e.id = id) all

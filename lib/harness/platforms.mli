@@ -11,6 +11,9 @@ type quality = C | H
     [H] uses the aggressive compiler preset, or genuinely hand-written EDGE
     code where the registry provides it (vadd). *)
 
+val quality_tag : quality -> string
+(** ["C"] or ["H"] (cache keys, report fields). *)
+
 val edge_program : quality -> Trips_workloads.Registry.bench -> Trips_edge.Block.program
 
 val edge_stats : quality -> Trips_workloads.Registry.bench -> Trips_edge.Exec.stats

@@ -1,0 +1,72 @@
+(** Cross-validation of the static timing analyzer
+    ({!Trips_analysis.Timing}) against the cycle-level simulator
+    ({!Trips_sim.Core}).
+
+    The analyzer's per-block max-plus summaries are composed over the
+    functional execution's block trace, with the next-block predictor
+    replayed over the same trace so redirects land exactly where the
+    simulator mispredicts.  The remaining model is optimistic (no
+    contention, no cache misses, no load flushes), so predictions track
+    measured cycles from below. *)
+
+val model_of : Trips_sim.Core.config -> Trips_analysis.Timing.model
+(** Derive the analyzer's timing parameters from a simulator
+    configuration, so the two can never silently diverge. *)
+
+type prediction = {
+  pr_cycles : int;              (** predicted whole-program cycles *)
+  pr_blocks : int;              (** block instances composed *)
+  pr_mispredicts : int;         (** redirects the replayed predictor took *)
+  pr_counts : (string, int) Hashtbl.t;  (** block label -> executed instances *)
+  pr_summaries : (string, Trips_analysis.Timing.summary) Hashtbl.t;
+  pr_diags : Trips_analysis.Diag.t list;
+}
+
+val predict_program :
+  ?config:Trips_sim.Core.config ->
+  Trips_edge.Block.program ->
+  Trips_tir.Image.t ->
+  entry:string ->
+  args:Trips_tir.Ty.value list ->
+  prediction
+(** Predict whole-program cycles without the cycle-level simulator: one
+    functional execution plus O(blocks) summary composition. *)
+
+val predict :
+  ?config:Trips_sim.Core.config ->
+  Platforms.quality ->
+  Trips_workloads.Registry.bench ->
+  prediction
+(** Memoized {!predict_program} over a registered benchmark. *)
+
+type row = {
+  xv_bench : string;
+  xv_predicted : int;
+  xv_measured : int;
+  xv_error_pct : float;         (** signed, 100*(pred-meas)/meas *)
+  xv_blocks : int;
+  xv_pred_mispredicts : int;
+  xv_sim_mispredicts : int;
+}
+
+val compare_bench :
+  ?config:Trips_sim.Core.config ->
+  Platforms.quality ->
+  Trips_workloads.Registry.bench ->
+  row
+
+val benches : unit -> Trips_workloads.Registry.bench list
+(** Every registered workload (the cross-validation population). *)
+
+val rows :
+  ?config:Trips_sim.Core.config ->
+  ?quality:Platforms.quality ->
+  Trips_workloads.Registry.bench list ->
+  row list
+
+val pearson_of : row list -> float
+val mape_of : row list -> float
+
+val crossval : unit -> Trips_util.Table.t
+(** The predicted-vs-measured table over every registered workload, with
+    Pearson correlation and MAPE footer rows. *)

@@ -56,12 +56,22 @@ type stats = {
   mutable dram_bytes : int;
 }
 
+(* Measured per-block timing, aggregated over every committed instance of
+   one static block: the static timing analyzer cross-validates its
+   predicted critical paths against [bo_latency / bo_instances]. *)
+type block_obs = {
+  mutable bo_instances : int;
+  mutable bo_latency : int;     (* sum of (all outputs done - dispatch start) *)
+  mutable bo_residency : int;   (* sum of (commit - fetch) *)
+}
+
 type result = {
   ret : Ty.value option;
   exec : Exec.stats;
   timing : stats;
   opn : Opn.profile;
   opn_average_hops : float;
+  block_profile : (string * block_obs) list;  (* sorted by label *)
 }
 
 (* Compressed code footprint of a block: a 128-byte header plus 128-byte
@@ -278,7 +288,7 @@ let time_block s (cfg : config) (inst : Exec.instance) ~dispatch_start : btime =
       match ins.Isa.op with
       | Isa.Load (_, _, lsid) -> (
         match Hashtbl.find_opt mem_of i with
-        | None -> complete.(i) <- issue + 1 (* squashed path, defensive *)
+        | None -> complete.(i) <- issue + Isa.latency ins.Isa.op (* squashed, defensive *)
         | Some ev ->
           let addr = ev.Exec.ev_addr in
           let bank = Cache.bank_of s.l1d ~addr in
@@ -324,7 +334,7 @@ let time_block s (cfg : config) (inst : Exec.instance) ~dispatch_start : btime =
         let bank = if is_null then lsid land 3 else Cache.bank_of s.l1d ~addr in
         let at_dt =
           Opn.send s.opn ~src:(pos i) ~dst:(Schedule.dt_position bank) Opn.Et_dt
-            ~now:(issue + 1)
+            ~now:(issue + Isa.latency ins.Isa.op)
         in
         let start = max at_dt dt_free.(bank) in
         dt_free.(bank) <- start + 1;
@@ -342,7 +352,7 @@ let time_block s (cfg : config) (inst : Exec.instance) ~dispatch_start : btime =
             mt_null = is_null; mt_time = start }
           :: !mems
       | Isa.Branch _ ->
-        let done_t = issue + 1 in
+        let done_t = issue + Isa.latency ins.Isa.op in
         complete.(i) <- done_t;
         let t =
           Opn.send s.opn ~src:(pos i) ~dst:Schedule.gt_position Opn.Et_gt ~now:done_t
@@ -428,6 +438,7 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
       inflight = [];
     }
   in
+  let block_profile : (string, block_obs) Hashtbl.t = Hashtbl.create 64 in
   (* code layout in a dedicated text region *)
   let cursor = ref 0x4000000 in
   List.iter
@@ -523,6 +534,17 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
              p_kind = kind };
     (* 6. occupancy accounting *)
     s.st.blocks <- s.st.blocks + 1;
+    (let obs =
+       match Hashtbl.find_opt block_profile label with
+       | Some o -> o
+       | None ->
+         let o = { bo_instances = 0; bo_latency = 0; bo_residency = 0 } in
+         Hashtbl.replace block_profile label o;
+         o
+     in
+     obs.bo_instances <- obs.bo_instances + 1;
+     obs.bo_latency <- obs.bo_latency + (bt.bt_done - (fetch + ilat));
+     obs.bo_residency <- obs.bo_residency + (commit - fetch));
     let useful =
       let u = ref 0 in
       Array.iteri (fun i f -> if f && inst.Exec.useful.(i) then incr u) inst.Exec.fired;
@@ -545,6 +567,10 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
     timing = s.st;
     opn = Opn.profile s.opn;
     opn_average_hops = Opn.average_hops s.opn;
+    block_profile =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun l o acc -> (l, o) :: acc) block_profile []);
   }
 
 let ipc r =

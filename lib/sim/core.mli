@@ -51,12 +51,23 @@ type stats = {
   mutable dram_bytes : int;
 }
 
+type block_obs = {
+  mutable bo_instances : int;    (* committed instances of the block *)
+  mutable bo_latency : int;      (* Σ (dataflow done - dispatch start) *)
+  mutable bo_residency : int;    (* Σ (commit - fetch) *)
+}
+(** Measured per-block cycle counts, the reference the static timing
+    analyzer ({!Trips_analysis.Timing}) cross-validates against:
+    [bo_latency / bo_instances] is the mean measured dataflow critical
+    path of the block, on the same clock as the analyzer's prediction. *)
+
 type result = {
   ret : Trips_tir.Ty.value option;
   exec : Trips_edge.Exec.stats;           (* architectural counts *)
   timing : stats;
   opn : Trips_noc.Opn.profile;
   opn_average_hops : float;
+  block_profile : (string * block_obs) list;  (* sorted by block label *)
 }
 
 val run :

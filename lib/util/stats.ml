@@ -20,6 +20,30 @@ let geomean = function
 let ratio a b = if b = 0 then 0. else float_of_int a /. float_of_int b
 let percent part whole = 100. *. ratio part whole
 
+let pearson xs ys =
+  let n = List.length xs in
+  if n < 2 || n <> List.length ys then 0.
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    List.iter2
+      (fun x y ->
+        sxy := !sxy +. ((x -. mx) *. (y -. my));
+        sxx := !sxx +. ((x -. mx) *. (x -. mx));
+        syy := !syy +. ((y -. my) *. (y -. my)))
+      xs ys;
+    if !sxx = 0. || !syy = 0. then 0.
+    else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+let mape ~predicted ~actual =
+  let errs =
+    List.filter_map
+      (fun (p, a) -> if a = 0. then None else Some (abs_float (p -. a) /. abs_float a *. 100.))
+      (List.combine predicted actual)
+  in
+  mean errs
+
 type running = {
   mutable n : int;
   mutable sum : float;

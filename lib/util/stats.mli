@@ -27,6 +27,14 @@ val ratio : int -> int -> float
 val percent : int -> int -> float
 (** [percent part whole] in 0..100, guarded. *)
 
+val pearson : float list -> float list -> float
+(** Pearson correlation coefficient of two paired samples; 0 when fewer
+    than two points, mismatched lengths, or either sample is constant. *)
+
+val mape : predicted:float list -> actual:float list -> float
+(** Mean absolute percentage error, in percent; pairs whose actual value
+    is 0 are skipped. *)
+
 type running
 (** Online mean/min/max accumulator. *)
 
