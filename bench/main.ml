@@ -3,14 +3,21 @@
    experiment over the simulator primitive that dominates it.
 
    Usage:
-     bench/main.exe                 -- experiments + engine comparison + micro
+     bench/main.exe                 -- experiments + engine + sim + micro
      bench/main.exe fig3 fig11      -- just those experiments
      bench/main.exe --no-micro      -- skip the Bechamel suite
      bench/main.exe --no-engine     -- skip the parallel-engine comparison
+     bench/main.exe --no-sim        -- skip the sim-throughput sweep
 
    The engine phase re-runs the selected experiments under the Domain pool
    (cold memo tables, 4 workers), checks the rendered tables are
-   byte-identical to the sequential pass, and writes BENCH_engine.json. *)
+   byte-identical to the sequential pass, and writes BENCH_engine.json.
+
+   The sim phase times one sequential cycle-simulator sweep of the full
+   workload registry per preset and writes BENCH_sim.json with the
+   throughput and its speedup over the recorded seed baseline (the frozen
+   Core_ref simulator; see bench/BENCH_sim.json for the committed record
+   and the thresholds check.sh gates on). *)
 
 open Trips_harness
 module Engine = Trips_engine.Engine
@@ -93,6 +100,95 @@ let run_engine_comparison experiments sequential =
     (if report.Engine.wall_s > 0. then seq_s /. report.Engine.wall_s else 0.)
     (if identical then "byte-identical" else "DIFFER");
   identical
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-simulator throughput: sequential full-registry sweep          *)
+(* ------------------------------------------------------------------ *)
+
+(* Seed-simulator throughput on the C-preset full-registry sweep,
+   recorded in-process (CPU time) by `trips_run simbench --preset C
+   --compare-ref` on the machine that produced bench/BENCH_sim.json.
+   CPU time is used throughout so background load on shared machines
+   cancels out of the ratio. *)
+let seed_blocks_per_s = 43774.
+
+let run_sim_throughput () =
+  let module Registry = Trips_workloads.Registry in
+  let module Image = Trips_tir.Image in
+  let module Ast = Trips_tir.Ast in
+  let module Core = Trips_sim.Core in
+  Printf.printf
+    "\n=== sim: sequential cycle-simulator sweep, full registry ===\n%!";
+  let sweep quality =
+    let jobs =
+      List.map
+        (fun (b : Registry.bench) ->
+          ( Platforms.edge_program quality b,
+            Image.build b.Registry.program.Ast.globals ))
+        Registry.all
+    in
+    let w0 = Unix.gettimeofday () in
+    let c0 = Sys.time () in
+    let blocks =
+      List.fold_left
+        (fun acc (prog, image) ->
+          let r = Core.run prog image ~entry:"main" ~args:[] in
+          acc + r.Core.timing.Core.blocks)
+        0 jobs
+    in
+    (blocks, Unix.gettimeofday () -. w0, Sys.time () -. c0)
+  in
+  let presets = [ ("C", Platforms.C); ("H", Platforms.H) ] in
+  let rows =
+    List.map
+      (fun (name, q) ->
+        let blocks, wall, cpu = sweep q in
+        let bps = if cpu > 0. then float_of_int blocks /. cpu else 0. in
+        Printf.printf
+          "  preset %s: %d block instances, %.2fs wall (%.2fs cpu), %.0f blocks/s\n%!"
+          name blocks wall cpu bps;
+        (name, blocks, wall, cpu, bps))
+      presets
+  in
+  let c_bps =
+    match List.find_opt (fun (n, _, _, _, _) -> n = "C") rows with
+    | Some (_, _, _, _, bps) -> bps
+    | None -> 0.
+  in
+  let speedup = c_bps /. seed_blocks_per_s in
+  let json =
+    Json.Obj
+      [
+        ( "description",
+          Json.Str
+            "Sequential cycle-simulator sweep of the full workload registry \
+             per preset (blocks/s over CPU time). speedup_vs_seed_baseline \
+             compares preset C against the recorded seed (Core_ref) \
+             throughput; the committed bench/BENCH_sim.json carries the \
+             thresholds check.sh gates on." );
+        ("seed_blocks_per_s", Json.Float seed_blocks_per_s);
+        ("speedup_vs_seed_baseline", Json.Float speedup);
+        ( "per_preset",
+          Json.List
+            (List.map
+               (fun (name, blocks, wall, cpu, bps) ->
+                 Json.Obj
+                   [
+                     ("preset", Json.Str name);
+                     ("blocks", Json.Int blocks);
+                     ("wall_s", Json.Float wall);
+                     ("cpu_s", Json.Float cpu);
+                     ("blocks_per_s", Json.Float bps);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf
+    "sim: preset C %.0f blocks/s, x%.2f vs seed baseline -> BENCH_sim.json\n%!"
+    c_bps speedup
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                     *)
@@ -184,10 +280,17 @@ let run_micro () =
     (micro_tests ())
 
 let () =
+  (* match trips_run: a larger minor heap for the token-allocating emulator *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let args = Array.to_list Sys.argv |> List.tl in
   let no_micro = List.mem "--no-micro" args in
   let no_engine = List.mem "--no-engine" args in
-  let ids = List.filter (fun a -> a <> "--no-micro" && a <> "--no-engine") args in
+  let no_sim = List.mem "--no-sim" args in
+  let ids =
+    List.filter
+      (fun a -> a <> "--no-micro" && a <> "--no-engine" && a <> "--no-sim")
+      args
+  in
   let experiments =
     match ids with
     | [] -> Experiments.all
@@ -201,5 +304,6 @@ let () =
   let identical =
     if no_engine then true else run_engine_comparison experiments sequential
   in
+  if not no_sim then run_sim_throughput ();
   if not no_micro then run_micro ();
   if not identical then exit 1

@@ -580,6 +580,193 @@ let timing_cmd =
         (const timing_main $ benches $ all $ simple $ preset $ format $ top
         $ xval $ out))
 
+(* -- simbench --------------------------------------------------------- *)
+
+module Core_ref = Trips_sim.Core_ref
+
+(* One sequential cycle-simulator sweep over the registered workloads.
+   Compilation and image building happen outside the timed region so the
+   clocks measure `Core.run` (or `Core_ref.run`) alone.  Both wall and
+   process CPU time are recorded: the shared machines this runs on carry
+   unpredictable background load, so throughput gates use the CPU-time
+   ratio, which that noise cancels out of. *)
+let simbench_sweep ~use_ref q benches =
+  let jobs =
+    List.map
+      (fun (b : Registry.bench) ->
+        let prog = Platforms.edge_program q b in
+        (b, prog, Image.build b.Registry.program.Ast.globals))
+      benches
+  in
+  let t0 = Unix.gettimeofday () in
+  let c0 = Sys.time () in
+  let dbg = Sys.getenv_opt "TRIPS_SIMBENCH_DEBUG" <> None in
+  let rows =
+    List.map
+      (fun ((b : Registry.bench), prog, image) ->
+        let w0 = Unix.gettimeofday () and a0 = Gc.allocated_bytes () in
+        Fun.protect ~finally:(fun () ->
+            if dbg then
+              Printf.eprintf "%-24s %8.2fs %10.0f MB\n%!" b.Registry.name
+                (Unix.gettimeofday () -. w0)
+                ((Gc.allocated_bytes () -. a0) /. 1e6))
+        @@ fun () ->
+        if use_ref then begin
+          let r = Core_ref.run prog image ~entry:"main" ~args:[] in
+          let t = r.Core_ref.timing in
+          ( b.Registry.name, t.Core_ref.cycles, t.Core_ref.blocks,
+            t.Core_ref.branch_mispredicts, t.Core_ref.callret_mispredicts,
+            t.Core_ref.dcache_misses, t.Core_ref.load_flushes )
+        end
+        else begin
+          let r = Core.run prog image ~entry:"main" ~args:[] in
+          let t = r.Core.timing in
+          ( b.Registry.name, t.Core.cycles, t.Core.blocks,
+            t.Core.branch_mispredicts, t.Core.callret_mispredicts,
+            t.Core.dcache_misses, t.Core.load_flushes )
+        end)
+      jobs
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let cpu = Sys.time () -. c0 in
+  (rows, wall, cpu)
+
+let simbench_main preset fixture out compare_ref =
+  try
+    let q = quality_of preset in
+    let benches = Registry.all in
+    let rows, wall, cpu = simbench_sweep ~use_ref:false q benches in
+    let blocks = List.fold_left (fun a (_, _, b, _, _, _, _) -> a + b) 0 rows in
+    let bps w = if w > 0. then float_of_int blocks /. w else 0. in
+    Printf.printf
+      "simbench: %d workload(s) [%s], %d block instances, %.2fs wall (%.2fs \
+       cpu), %.0f blocks/s\n%!"
+      (List.length rows) preset blocks wall cpu (bps cpu);
+    let ref_times =
+      if compare_ref then begin
+        let ref_rows, ref_wall, ref_cpu = simbench_sweep ~use_ref:true q benches in
+        if ref_rows <> rows then
+          failwith "simbench: optimized and reference simulators disagree";
+        Printf.printf
+          "simbench: reference sweep %.2fs wall (%.2fs cpu), %.0f blocks/s — \
+           speedup x%.2f (stats identical)\n%!"
+          ref_wall ref_cpu (bps ref_cpu) (ref_cpu /. cpu);
+        Some (ref_wall, ref_cpu)
+      end
+      else None
+    in
+    (match fixture with
+    | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "(* Golden per-workload statistics of the seed (reference) cycle \
+         simulator,\n   recorded by `trips_run simbench --preset %s --fixture \
+         %s`.\n   Regenerate only if the *model* intentionally changes; the \
+         optimized\n   simulator must reproduce these numbers exactly \
+         (test_sim_parity.ml). *)\n\nlet preset = %S\n\n\
+         (* name, cycles, blocks, branch_mispredicts, callret_mispredicts,\n   \
+         dcache_misses, load_flushes *)\n\
+         let per_workload = [\n"
+        preset file preset;
+      List.iter
+        (fun (name, cy, bl, bm, cm, dm, lf) ->
+          Printf.fprintf oc "  (%S, %d, %d, %d, %d, %d, %d);\n" name cy bl bm cm
+            dm lf)
+        rows;
+      Printf.fprintf oc "]\n";
+      close_out oc;
+      Printf.eprintf "fixture: %s\n" file
+    | None -> ());
+    (match out with
+    | Some file ->
+      let json =
+        Json.Obj
+          ([
+             ("preset", Json.Str preset);
+             ("workloads", Json.Int (List.length rows));
+             ("blocks", Json.Int blocks);
+             ("wall_s", Json.Float wall);
+             ("cpu_s", Json.Float cpu);
+             ("blocks_per_s", Json.Float (bps cpu));
+           ]
+          @ (match ref_times with
+            | Some (rw, rc) ->
+              [
+                ("ref_wall_s", Json.Float rw);
+                ("ref_cpu_s", Json.Float rc);
+                ("ref_blocks_per_s", Json.Float (bps rc));
+                ("speedup_vs_ref", Json.Float (rc /. cpu));
+              ]
+            | None -> [])
+          @ [
+              ( "per_workload",
+                Json.List
+                  (List.map
+                     (fun (name, cy, bl, bm, cm, dm, lf) ->
+                       Json.Obj
+                         [
+                           ("name", Json.Str name);
+                           ("cycles", Json.Int cy);
+                           ("blocks", Json.Int bl);
+                           ("branch_mispredicts", Json.Int bm);
+                           ("callret_mispredicts", Json.Int cm);
+                           ("dcache_misses", Json.Int dm);
+                           ("load_flushes", Json.Int lf);
+                         ])
+                     rows) );
+            ])
+      in
+      let oc = open_out file in
+      output_string oc (Json.to_string json);
+      close_out oc;
+      Printf.eprintf "simbench report: %s\n" file
+    | None -> ());
+    `Ok ()
+  with
+  | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+
+let simbench_cmd =
+  let doc =
+    "Measure sequential cycle-simulator throughput over the full registry."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles every registered workload under the selected preset, then \
+         replays them all through the cycle-level simulator, reporting \
+         block instances per second.  With $(b,--compare-ref) the frozen \
+         pre-optimization simulator (Core_ref) runs the same sweep and the \
+         report gains a machine-independent speedup; the two simulators' \
+         statistics must agree exactly or the command fails.";
+    ]
+  in
+  let preset =
+    Arg.(value & opt string "C" & info [ "preset" ] ~docv:"C|H" ~doc:"Code quality.")
+  in
+  let fixture =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fixture" ] ~docv:"FILE"
+          ~doc:"Write the per-workload golden fixture as OCaml source to $(docv).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report to $(docv).")
+  in
+  let compare_ref =
+    Arg.(
+      value & flag
+      & info [ "compare-ref" ]
+          ~doc:"Also sweep the frozen reference simulator and report speedup.")
+  in
+  Cmd.v
+    (Cmd.info "simbench" ~doc ~man)
+    Term.(ret (const simbench_main $ preset $ fixture $ out $ compare_ref))
+
 (* -- default: the parallel experiment engine -------------------------- *)
 
 module Engine = Trips_engine.Engine
@@ -700,9 +887,14 @@ let default_term =
     ret (const engine_main $ all $ ids $ jobs $ cache_dir $ out $ format))
 
 let () =
+  (* The emulator allocates short-lived tokens at a high rate; a larger
+     minor heap keeps them out of the major heap and cuts GC overhead on
+     long simulations. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let doc = "TRIPS/EDGE reproduction driver" in
   let info = Cmd.info "trips_run" ~doc in
   exit
     (Cmd.eval
        (Cmd.group ~default:default_term info
-          [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd ]))
+          [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd;
+            simbench_cmd ]))

@@ -36,6 +36,23 @@ awk -v m="$mape" -v p="$pearson" -v mm="$max_mape" -v mp="$min_pearson" 'BEGIN {
   }
 }'
 
+echo "== sim throughput: trips_run simbench --preset C --compare-ref =="
+dune exec bin/trips_run.exe -- simbench --preset C --compare-ref \
+  --out simbench-report.json
+speedup=$(sed -n 's/.*"speedup_vs_ref": \([0-9.eE+-]*\).*/\1/p' simbench-report.json | tail -1)
+min_speedup=$(sed -n 's/.*"min_speedup_vs_ref": \([0-9.]*\).*/\1/p' bench/BENCH_sim.json)
+awk -v s="$speedup" -v ms="$min_speedup" 'BEGIN {
+  if (s == "") {
+    print "simbench: speedup_vs_ref missing from simbench-report.json" > "/dev/stderr"
+    exit 1
+  }
+  printf "sim throughput: x%.2f vs reference (min x%.2f)\n", s, ms
+  if (s + 0 < ms + 0) {
+    print "sim throughput regressed past bench/BENCH_sim.json thresholds" > "/dev/stderr"
+    exit 1
+  }
+}'
+
 echo "== engine smoke: trips_run --id table1 --jobs 2 --format json =="
 out=$(dune exec bin/trips_run.exe -- --id table1 --jobs 2 --format json 2>/dev/null)
 echo "$out" | grep -q '"title": "Table 1' || {

@@ -80,7 +80,7 @@ let classify = function
 
 let operand_arity i =
   match i.op with
-  | Bin _ -> if i.imm = None then 2 else 1
+  | Bin _ -> ( match i.imm with None -> 2 | Some _ -> 1)
   | Un _ -> 1
   | Geni _ | Genf _ -> 0
   | Mov -> 1

@@ -21,6 +21,27 @@ val send : t -> src:int * int -> dst:int * int -> cls -> now:int -> int
 
 val hops : src:int * int -> dst:int * int -> int
 
+val route : int * int -> int * int -> (int * int) list
+(** [route src dst] is the Y-first dimension-ordered path as
+    [(node, direction)] link claims, one per hop ([direction]: 0 = row-,
+    1 = row+, 2 = col+, 3 = col-).  [send] traverses exactly this path
+    (without materializing it); exposed for tests and path inspection. *)
+
+val node : int -> int -> int
+(** [node row col] is the mesh node index used in {!route} steps. *)
+
+val path_ids : src:int * int -> dst:int * int -> int list
+(** The link ids claimed by [route src dst], in claim order.  Callers with
+    static endpoints (the cycle simulator's per-block timing plans)
+    precompute these once and replay them with {!claim_path}. *)
+
+val claim_path :
+  t -> ci:int -> paths:int array -> off:int -> len:int -> now:int -> int
+(** [claim_path t ~ci ~paths ~off ~len ~now] is {!send} over the
+    precomputed path [paths.(off) .. paths.(off + len - 1)] for a message
+    of class index [ci] ([len] = hop count): identical link claims, in the
+    same order, and identical profile accounting. *)
+
 type profile = {
   packets : int array array;   (* class index x hop bucket (0..5, 5 = 5+) *)
   mutable contention_cycles : int;

@@ -1,0 +1,143 @@
+(* Operand-network unit tests: routing geometry, dimension order, per-link
+   single-occupancy contention, and state reset.  [Opn.send] traverses the
+   path of [Opn.route] in place, so these tests pin both the declarative
+   path and the allocation-free walk against each other. *)
+
+module Opn = Trips_noc.Opn
+
+let positions =
+  (* every mesh coordinate of the 5x5 OPN *)
+  List.concat_map (fun r -> List.init 5 (fun c -> (r, c))) (List.init 5 Fun.id)
+
+(* Route length equals the Manhattan distance, for every src/dst pair. *)
+let test_route_length () =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          let h = Opn.hops ~src ~dst in
+          Alcotest.(check int)
+            (Printf.sprintf "hops %s->%s"
+               (fst src |> string_of_int)
+               (fst dst |> string_of_int))
+            h
+            (List.length (Opn.route src dst)))
+        positions)
+    positions
+
+(* Dimension order: the Y (row) hops all come before the X (column) hops,
+   each step moves one hop toward the destination, and the claimed links
+   start at the nodes actually visited. *)
+let test_route_dimension_order () =
+  List.iter
+    (fun ((r1, c1) as src) ->
+      List.iter
+        (fun ((r2, c2) as dst) ->
+          let steps = Opn.route src dst in
+          let r = ref r1 and c = ref c1 and in_x = ref false in
+          List.iter
+            (fun (n, dir) ->
+              Alcotest.(check int) "link starts at current node" (Opn.node !r !c) n;
+              (match dir with
+              | 0 | 1 ->
+                Alcotest.(check bool) "row hops precede column hops" false !in_x;
+                r := if dir = 1 then !r + 1 else !r - 1
+              | 2 | 3 ->
+                in_x := true;
+                c := if dir = 2 then !c + 1 else !c - 1
+              | _ -> Alcotest.fail "invalid direction");
+              Alcotest.(check bool) "stays on the mesh" true
+                (!r >= 0 && !r < 5 && !c >= 0 && !c < 5))
+            steps;
+          Alcotest.(check (pair int int)) "path ends at dst" (r2, c2) (!r, !c))
+        positions)
+    positions
+
+(* Uncontended latency: one cycle per hop. *)
+let test_uncontended_latency () =
+  let t = Opn.create () in
+  let arrival = Opn.send t ~src:(1, 1) ~dst:(3, 4) Opn.Et_et ~now:10 in
+  Alcotest.(check int) "1 cycle per hop" (10 + Opn.hops ~src:(1, 1) ~dst:(3, 4)) arrival;
+  let local = Opn.send t ~src:(2, 2) ~dst:(2, 2) Opn.Et_et ~now:7 in
+  Alcotest.(check int) "local bypass is free" 7 local
+
+(* Each link carries one operand per cycle: two messages entering the same
+   link on the same cycle serialize; the contention counter records the
+   stall. *)
+let test_link_single_occupancy () =
+  let t = Opn.create () in
+  let a = Opn.send t ~src:(2, 1) ~dst:(2, 2) Opn.Et_et ~now:5 in
+  Alcotest.(check int) "first message unimpeded" 6 a;
+  let b = Opn.send t ~src:(2, 1) ~dst:(2, 2) Opn.Et_et ~now:5 in
+  Alcotest.(check int) "second message waits one cycle" 7 b;
+  let c = Opn.send t ~src:(2, 1) ~dst:(2, 2) Opn.Et_et ~now:5 in
+  Alcotest.(check int) "third message waits two cycles" 8 c;
+  Alcotest.(check int) "contention cycles recorded" 3
+    (Opn.profile t).Opn.contention_cycles;
+  (* a different link on the same cycle is independent *)
+  let d = Opn.send t ~src:(2, 3) ~dst:(2, 4) Opn.Et_et ~now:5 in
+  Alcotest.(check int) "other links unaffected" 6 d
+
+(* Messages claiming the same link at different cycles do not contend,
+   including out-of-order claim times (the simulator walks dataflow order,
+   not time order). *)
+let test_link_disjoint_times () =
+  let t = Opn.create () in
+  let a = Opn.send t ~src:(0, 0) ~dst:(0, 1) Opn.Et_et ~now:20 in
+  let b = Opn.send t ~src:(0, 0) ~dst:(0, 1) Opn.Et_et ~now:3 in
+  Alcotest.(check int) "later claim keeps its slot" 21 a;
+  Alcotest.(check int) "earlier claim unaffected" 4 b;
+  Alcotest.(check int) "no contention" 0 (Opn.profile t).Opn.contention_cycles
+
+(* A multi-hop message occupies consecutive links on consecutive cycles;
+   a second message chasing it one cycle later never catches up. *)
+let test_pipelined_hops () =
+  let t = Opn.create () in
+  let a = Opn.send t ~src:(1, 0) ~dst:(1, 3) Opn.Et_et ~now:0 in
+  let b = Opn.send t ~src:(1, 0) ~dst:(1, 3) Opn.Et_et ~now:1 in
+  Alcotest.(check int) "head message" 3 a;
+  Alcotest.(check int) "chaser stays one behind" 4 b;
+  Alcotest.(check int) "pipelining causes no contention" 0
+    (Opn.profile t).Opn.contention_cycles
+
+(* [reset] restores a fresh network: occupancy and the whole profile. *)
+let test_reset () =
+  let t = Opn.create () in
+  ignore (Opn.send t ~src:(0, 0) ~dst:(4, 4) Opn.Et_dt ~now:0);
+  ignore (Opn.send t ~src:(0, 0) ~dst:(4, 4) Opn.Et_dt ~now:0);
+  let p = Opn.profile t in
+  Alcotest.(check bool) "profile non-empty before reset" true
+    (p.Opn.total_packets > 0 && p.Opn.total_hops > 0
+    && p.Opn.contention_cycles > 0);
+  Opn.reset t;
+  Alcotest.(check int) "packets cleared" 0 p.Opn.total_packets;
+  Alcotest.(check int) "hops cleared" 0 p.Opn.total_hops;
+  Alcotest.(check int) "contention cleared" 0 p.Opn.contention_cycles;
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> Alcotest.(check int) "histogram cleared" 0 v) row)
+    p.Opn.packets;
+  (* links are free again: the same double-send no longer sees the old
+     occupancy *)
+  let a = Opn.send t ~src:(0, 0) ~dst:(0, 1) Opn.Gt_any ~now:0 in
+  Alcotest.(check int) "occupancy cleared" 1 a
+
+let () =
+  Alcotest.run "noc"
+    [
+      ( "opn",
+        [
+          Alcotest.test_case "route length = Manhattan hops" `Quick
+            test_route_length;
+          Alcotest.test_case "dimension-ordered (Y then X)" `Quick
+            test_route_dimension_order;
+          Alcotest.test_case "uncontended latency" `Quick
+            test_uncontended_latency;
+          Alcotest.test_case "per-link single occupancy" `Quick
+            test_link_single_occupancy;
+          Alcotest.test_case "disjoint times do not contend" `Quick
+            test_link_disjoint_times;
+          Alcotest.test_case "hops pipeline" `Quick test_pipelined_hops;
+          Alcotest.test_case "reset restores fresh state" `Quick test_reset;
+        ] );
+    ]
