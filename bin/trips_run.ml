@@ -170,6 +170,18 @@ let lint_program (preset : Driver.preset) (b : Registry.bench) :
           (Printf.sprintf "compilation failed: %s" (Printexc.to_string e));
       ] )
 
+(* Shared exit policy for the analysis subcommands: error-level findings
+   always fail the run; [--strict] also fails on warnings.  Used with
+   [--out] so CI can both archive the JSON report and gate on it. *)
+let strict_exit ~what ~strict ds =
+  if Diag.failed ~strict ds then
+    `Error
+      ( false,
+        Printf.sprintf "%s failed%s: %s" what
+          (if strict then " (strict)" else "")
+          (Analyzer.summary ds) )
+  else `Ok ()
+
 let lint_main benches all presets format strict out =
   try
     let benches =
@@ -235,12 +247,7 @@ let lint_main benches all presets format strict out =
       close_out oc;
       Printf.eprintf "lint report: %s\n" file
     | None -> ());
-    if Diag.failed ~strict all_ds then
-      `Error
-        ( false,
-          Printf.sprintf "lint failed%s: %s" (if strict then " (strict)" else "")
-            (Analyzer.summary all_ds) )
-    else `Ok ()
+    strict_exit ~what:"lint" ~strict all_ds
   with
   | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
   | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
@@ -302,7 +309,7 @@ let lint_cmd =
 
 module Timing = Trips_analysis.Timing
 
-let timing_main benches all simple preset format top xval out =
+let timing_main benches all simple preset format top xval strict out =
   try
     let q = quality_of preset in
     let benches =
@@ -503,7 +510,8 @@ let timing_main benches all simple preset format top xval out =
       close_out oc;
       Printf.eprintf "timing report: %s\n" file
     | None -> ());
-    `Ok ()
+    strict_exit ~what:"timing" ~strict
+      (List.concat_map (fun (_, p, _) -> p.Timing_xv.pr_diags) per_bench)
   with
   | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
   | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
@@ -567,6 +575,12 @@ let timing_cmd =
       & info [ "xval" ]
           ~doc:"Cross-validate: also run the cycle-level simulator.")
   in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Fail (non-zero exit) when placement findings are reported.")
+  in
   let out =
     Arg.(
       value
@@ -578,7 +592,193 @@ let timing_cmd =
     Term.(
       ret
         (const timing_main $ benches $ all $ simple $ preset $ format $ top
-        $ xval $ out))
+        $ xval $ strict $ out))
+
+(* -- transval --------------------------------------------------------- *)
+
+module Transval = Trips_analysis.Transval
+
+let transval_main benches all presets isa format strict out =
+  try
+    let full = Sys.getenv_opt "TRIPS_TRANSVAL_FULL" = Some "1" in
+    let benches =
+      if all || benches = [] then Registry.all else List.map Registry.find benches
+    in
+    let edge_presets =
+      if full then Transval_xv.all_presets
+      else
+        List.concat_map
+          (fun p ->
+            match p with
+            | "fast" -> [ Transval_xv.O0; Transval_xv.C ]
+            | p -> (
+              match Transval_xv.tag_of_string p with
+              | Some t -> [ t ]
+              | None ->
+                invalid_arg
+                  ("unknown preset " ^ p ^ " (use O0, C, H, BB or fast)")))
+          (if presets = [] then [ "fast" ] else presets)
+    in
+    let edge, risc =
+      if full then (true, true)
+      else
+        match isa with
+        | "edge" -> (true, false)
+        | "risc" -> (false, true)
+        | "both" -> (true, true)
+        | s -> invalid_arg ("unknown isa " ^ s ^ " (edge|risc|both)")
+    in
+    let cells =
+      Transval_xv.sweep
+        ~presets:(if edge then edge_presets else [])
+        ~risc benches
+    in
+    let cell_json (c : Transval_xv.cell) =
+      let s = c.Transval_xv.c_summary in
+      Json.Obj
+        [
+          ("bench", Json.Str c.Transval_xv.c_bench);
+          ("config", Json.Str c.Transval_xv.c_config);
+          ("proved", Json.Int s.Transval.n_proved);
+          ("concrete", Json.Int s.Transval.n_concrete);
+          ("refuted", Json.Int s.Transval.n_refuted);
+          ( "findings",
+            Diag.list_to_json (Transval.report_diags c.Transval_xv.c_reports) );
+        ]
+    in
+    let all_ds =
+      List.concat_map
+        (fun (c : Transval_xv.cell) ->
+          Transval.report_diags c.Transval_xv.c_reports)
+        cells
+    in
+    let totals =
+      List.fold_left
+        (fun (p, co, r) (c : Transval_xv.cell) ->
+          let s = c.Transval_xv.c_summary in
+          ( p + s.Transval.n_proved,
+            co + s.Transval.n_concrete,
+            r + s.Transval.n_refuted ))
+        (0, 0, 0) cells
+    in
+    let tp, tc, tr = totals in
+    let report_json =
+      Json.Obj
+        [
+          ("programs", Json.List (List.map cell_json cells));
+          ( "summary",
+            Json.Obj
+              [
+                ("programs", Json.Int (List.length cells));
+                ("proved", Json.Int tp);
+                ("concrete", Json.Int tc);
+                ("refuted", Json.Int tr);
+                ("warnings", Json.Int (Diag.warnings all_ds));
+                ("strict", Json.Bool strict);
+              ] );
+        ]
+    in
+    (match format with
+    | "txt" ->
+      List.iter
+        (fun (c : Transval_xv.cell) ->
+          let s = c.Transval_xv.c_summary in
+          Printf.printf "%s [%s]: proved=%d concrete=%d refuted=%d\n"
+            c.Transval_xv.c_bench c.Transval_xv.c_config s.Transval.n_proved
+            s.Transval.n_concrete s.Transval.n_refuted;
+          print_string
+            (Diag.render_text (Transval.report_diags c.Transval_xv.c_reports)))
+        cells;
+      Printf.printf
+        "transval: %d program(s) (%d benchmark(s)): proved=%d concrete=%d \
+         refuted=%d\n"
+        (List.length cells) (List.length benches) tp tc tr
+    | "json" -> print_string (Json.to_string report_json)
+    | f -> invalid_arg ("unknown format " ^ f ^ " (txt|json)"));
+    (match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string report_json);
+      close_out oc;
+      Printf.eprintf "transval report: %s\n" file
+    | None -> ());
+    strict_exit ~what:"transval" ~strict all_ds
+  with
+  | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+  | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
+
+let transval_cmd =
+  let doc =
+    "Symbolically validate every compiler pass against its input (translation \
+     validation)."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Recompiles the selected benchmarks with per-pass witnesses and checks \
+         each pass checkpoint: TIR optimization and block splitting against the \
+         lowered CFG, hyperblock formation structurally, register allocation by \
+         property, dataflow conversion by symbolic execution of the EDGE block \
+         against its TIR region per feasible predicate path, scheduling as \
+         array identity, and linking.  With $(b,--isa) risc or both, the RISC \
+         backend's emitted code ranges (and prologue) are validated the same \
+         way.  Each block reports $(b,proved) (all paths syntactically equal), \
+         $(b,concrete) (equal on seeded random concretizations), or \
+         $(b,refuted) — a refutation names the guilty pass and first diverging \
+         definition.";
+      `P
+        "Setting TRIPS_TRANSVAL_FULL=1 overrides the preset/isa selection with \
+         the full matrix (O0, C, H, BB and both ISAs).";
+    ]
+  in
+  let benches =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark to validate (repeatable).")
+  in
+  let all =
+    Arg.(
+      value & flag & info [ "all" ] ~doc:"Validate every registered benchmark.")
+  in
+  let presets =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "preset" ] ~docv:"O0|C|H|BB|fast"
+          ~doc:
+            "Code-quality preset (repeatable; $(b,fast) = O0 and C; default \
+             fast).")
+  in
+  let isa =
+    Arg.(
+      value & opt string "both"
+      & info [ "isa" ] ~docv:"edge|risc|both" ~doc:"Backend(s) to validate.")
+  in
+  let format =
+    Arg.(
+      value & opt string "txt"
+      & info [ "format" ] ~docv:"txt|json" ~doc:"Report rendering.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Fail on warnings (path-limit truncations) as well as refutations.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "transval" ~doc ~man)
+    Term.(
+      ret
+        (const transval_main $ benches $ all $ presets $ isa $ format $ strict
+        $ out))
 
 (* -- simbench --------------------------------------------------------- *)
 
@@ -897,4 +1097,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_term info
           [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd;
-            simbench_cmd ]))
+            transval_cmd; simbench_cmd ]))

@@ -17,6 +17,19 @@ dune runtest
 echo "== static analyzer: trips_run lint --all --strict =="
 dune exec bin/trips_run.exe -- lint --all --strict --out lint-report.json
 
+echo "== translation validation: trips_run transval --all (full matrix) =="
+# All four EDGE pipelines (O0/C/H/BB) plus the RISC backend over every
+# workload; hash-consed terms keep the whole sweep around ten seconds.
+TRIPS_TRANSVAL_FULL=1 dune exec bin/trips_run.exe -- transval --all --strict \
+  --out transval-report.json >/dev/null
+refuted=$(sed -n 's/.*"refuted": \([0-9]*\).*/\1/p' transval-report.json | tail -1)
+proved=$(sed -n 's/.*"proved": \([0-9]*\).*/\1/p' transval-report.json | tail -1)
+echo "translation validation: $proved block(s) proved, $refuted refuted"
+[ "$refuted" = "0" ] || {
+  echo "translation validation refuted a pass (see transval-report.json)" >&2
+  exit 1
+}
+
 echo "== static timing: trips_run timing --simple --xval =="
 dune exec bin/trips_run.exe -- timing --simple --xval --preset C --format json \
   --out timing-report.json >/dev/null

@@ -9,10 +9,11 @@ type t = {
   inst : int option;
   msg : string;
   fix : string option;
+  count : int;
 }
 
 let make ?(sev = Error) ?(pass = "") ?(fname = "") ?(block = "") ?inst ?fix cls msg =
-  { sev; pass; cls; fname; block; inst; msg; fix }
+  { sev; pass; cls; fname; block; inst; msg; fix; count = 1 }
 
 let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
 
@@ -28,7 +29,25 @@ let compare_diags a b =
 
 let sort ds = List.sort compare_diags ds
 
-let count sev ds = List.length (List.filter (fun d -> d.sev = sev) ds)
+let count sev ds =
+  List.fold_left (fun n d -> if d.sev = sev then n + d.count else n) 0 ds
+
+(* Stable deduplication: findings with the same severity, pass, class
+   and location collapse into the first occurrence with a summed
+   count.  First-seen order is preserved. *)
+let dedup ds =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun d ->
+      let key = (d.sev, d.pass, d.cls, d.fname, d.block, d.inst) in
+      match Hashtbl.find_opt tbl key with
+      | Some prev -> Hashtbl.replace tbl key { prev with count = prev.count + d.count }
+      | None ->
+        Hashtbl.replace tbl key d;
+        order := key :: !order)
+    ds;
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
 let errors ds = count Error ds
 let warnings ds = count Warning ds
 
@@ -50,7 +69,8 @@ let to_line d =
   Printf.sprintf "%-7s [%s] %s%s%s" (severity_name d.sev) d.cls
     (if loc = "" then "" else loc ^ ": ")
     d.msg
-    (match d.fix with None -> "" | Some f -> "  (fix: " ^ f ^ ")")
+    ((if d.count > 1 then Printf.sprintf "  (x%d)" d.count else "")
+    ^ match d.fix with None -> "" | Some f -> "  (fix: " ^ f ^ ")")
 
 let render_text ds =
   let ds = sort ds in
@@ -74,6 +94,7 @@ let to_json d =
      ]
     @ (match d.inst with Some i -> [ ("inst", J.Int i) ] | None -> [])
     @ [ ("message", J.Str d.msg) ]
+    @ (if d.count > 1 then [ ("count", J.Int d.count) ] else [])
     @ match d.fix with Some f -> [ ("fix", J.Str f) ] | None -> [])
 
 let list_to_json ds = Trips_util.Json.List (List.map to_json (sort ds))

@@ -18,6 +18,7 @@ type t = {
   inst : int option;      (* instruction index within the block *)
   msg : string;
   fix : string option;    (* suggested fix *)
+  count : int;            (* occurrences collapsed by {!dedup}; 1 from {!make} *)
 }
 
 val make :
@@ -40,6 +41,12 @@ val sort : t list -> t list
 
 val errors : t list -> int
 val warnings : t list -> int
+(** Severity totals; collapsed findings count with their multiplicity. *)
+
+val dedup : t list -> t list
+(** Stable deduplication: findings sharing severity, pass, class and
+    location collapse into the first occurrence with a summed [count].
+    Text and JSON emitters render the multiplicity. *)
 
 val failed : strict:bool -> t list -> bool
 (** A report fails when it contains errors; under [~strict:true] warnings

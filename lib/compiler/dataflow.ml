@@ -197,7 +197,7 @@ let rec item_uses_deep (items : item list) : Cfg.vreg list =
       match item with
       | Ins i -> regs (Cfg.uses i)
       | If (c, t, e) -> regs [ c ] @ item_uses_deep t @ item_uses_deep e
-      | Exit _ -> [])
+      | Exit _ | Lbl _ -> [])
     items
 
 let convert (ra : Regalloc.t) ~layout (hb : hblock) : Trips_edge.Block.t =
@@ -217,6 +217,7 @@ let convert (ra : Regalloc.t) ~layout (hb : hblock) : Trips_edge.Block.t =
   let rec conv_items ctx bindings (items : item list) : Builder.h IM.t =
     match items with
     | [] -> bindings
+    | Lbl _ :: rest -> conv_items ctx bindings rest
     | Ins i :: rest -> conv_items ctx (conv_ins st ctx bindings i) rest
     | Exit k :: rest ->
       let dest =

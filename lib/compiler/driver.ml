@@ -103,7 +103,18 @@ let split_large_blocks ~cap ~mem_cap (f : Cfg.func) =
   in
   f.blocks <- List.concat_map split_block f.blocks
 
-let compile_func ?(verify = false) preset ~layout (fn : Cfg.func) : Block.func =
+type witness = {
+  w_fn : Cfg.func;  (* post-opt input, before splitting *)
+  w_split : Cfg.func;  (* after split_large_blocks *)
+  w_hf : Hyperblock.hfunc;
+  w_ra : Regalloc.t;
+  w_presched :
+    (string * (Trips_edge.Isa.inst array * Block.read array * Block.write array)) list;
+  w_bf : Block.func;
+}
+
+let compile_func_wit ?(verify = false) preset ~layout (fn : Cfg.func) :
+    Block.func * witness =
   let rec attempt budget cap =
     let fn' = copy_func fn in
     split_large_blocks ~cap ~mem_cap:(budget.Hyperblock.max_mem - 4 |> max 4) fn';
@@ -111,9 +122,10 @@ let compile_func ?(verify = false) preset ~layout (fn : Cfg.func) : Block.func =
       let hf = Hyperblock.form budget fn' in
       let ra = Regalloc.allocate hf in
       let blocks = List.map (Dataflow.convert ra ~layout) hf.Hyperblock.hblocks in
-      { Block.fname = hf.Hyperblock.hname; entry = hf.Hyperblock.hentry; blocks }
+      ({ Block.fname = hf.Hyperblock.hname; entry = hf.Hyperblock.hentry; blocks },
+       fn', hf, ra)
     with
-    | bf -> bf
+    | r -> r
     | exception ((Block.Invalid _ | Regalloc.Pressure _) as exn) ->
       let label, reason =
         match exn with
@@ -132,22 +144,140 @@ let compile_func ?(verify = false) preset ~layout (fn : Cfg.func) : Block.func =
         in
         attempt budget (max 6 (cap * 2 / 3))
   in
-  let bf = attempt preset.budget (max 8 (preset.budget.Hyperblock.max_ins * 3 / 4)) in
+  let bf, fn', hf, ra =
+    attempt preset.budget (max 8 (preset.budget.Hyperblock.max_ins * 3 / 4))
+  in
   if verify then verify_stage ~stage:"dataflow-convert" bf;
+  let presched =
+    List.map
+      (fun (b : Block.t) ->
+        (b.Block.label,
+         (Array.copy b.Block.insts, Array.copy b.Block.reads, Array.copy b.Block.writes)))
+      bf.Block.blocks
+  in
   List.iter Schedule.place bf.Block.blocks;
   if verify then verify_stage ~stage:"schedule" bf;
-  bf
+  (bf, { w_fn = fn; w_split = fn'; w_hf = hf; w_ra = ra; w_presched = presched; w_bf = bf })
 
-let compile ?(verify = false) preset (p : Ast.program) : Block.program =
+let compile_func ?verify preset ~layout fn =
+  fst (compile_func_wit ?verify preset ~layout fn)
+
+(* ------------------------------------------------------------------ *)
+(* Translation validation                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Transval = Trips_analysis.Transval
+module S = Trips_analysis.Symval
+
+(* Per-function pass checkpoints after compilation: splitting and
+   formation structurally, allocation by property, dataflow conversion
+   symbolically per hyperblock, scheduling as array identity. *)
+let validate_func ?max_paths ~sym (w : witness) : Transval.report list =
+  let fname = w.w_fn.Cfg.name in
+  let dataflow =
+    List.map
+      (fun (hb : Hyperblock.hblock) ->
+        try
+          let tgt =
+            match
+              List.find_opt
+                (fun (b : Block.t) -> b.Block.label = hb.Hyperblock.hlabel)
+                w.w_bf.Block.blocks
+            with
+            | Some b -> b
+            | None -> raise (Transval.Refute "hyperblock has no EDGE block")
+          in
+          let iface v =
+            match Regalloc.reg_of w.w_ra v with
+            | r -> S.Var (S.Varch r)
+            | exception Not_found -> S.Var (S.Vreg v)
+          in
+          let ws =
+            Option.value ~default:[]
+              (Hashtbl.find_opt w.w_ra.Regalloc.write_set hb.Hyperblock.hlabel)
+          in
+          let writes = List.map (fun v -> (v, Regalloc.reg_of w.w_ra v)) ws in
+          Transval.check_hblock ?max_paths ~fname ~sym ~iface ~writes
+            ~src:(Witness.ritems_of_items hb.Hyperblock.body)
+            tgt
+        with
+        | Transval.Refute msg | Witness.Mismatch msg ->
+          Transval.refuted_report ~stage:"dataflow-convert" ~fname
+            ~block:hb.Hyperblock.hlabel msg)
+      w.w_hf.Hyperblock.hblocks
+  in
+  Witness.check_split ~fname w.w_fn w.w_split
+  @ Witness.check_formation ~fname w.w_split w.w_hf
+  @ Witness.check_regalloc ~fname w.w_hf w.w_ra
+  @ dataflow
+  @ Transval.check_schedule ~fname w.w_presched w.w_bf
+
+let run_validation ?max_paths preset (p : Ast.program) :
+    Transval.report list * Block.program =
   let p = if preset.inline_pass then Transform.inline p else p in
   let p =
     if preset.unroll > 1 then Transform.unroll_program ~factor:preset.unroll p else p
   in
   let cfg = Lower.program p in
+  let pre_opt =
+    if preset.optimize then Some (List.map copy_func cfg.Cfg.funcs) else None
+  in
   if preset.optimize then Opt.run_program cfg;
   let layout = Image.layout cfg.Cfg.globals in
-  let funcs = List.map (compile_func ~verify preset ~layout) cfg.Cfg.funcs in
-  let prog = { Block.globals = cfg.Cfg.globals; funcs } in
+  let sym s =
+    match List.assoc_opt s layout with Some a -> Int64.of_int a | None -> 0L
+  in
+  let reports = ref [] in
+  (match pre_opt with
+  | Some pres ->
+    List.iter2
+      (fun pre (post : Cfg.func) ->
+        reports :=
+          !reports @ Transval.check_opt ?max_paths ~sym ~fname:post.Cfg.name pre post)
+      pres cfg.Cfg.funcs
+  | None -> ());
+  let wits = List.map (compile_func_wit preset ~layout) cfg.Cfg.funcs in
+  List.iter (fun (_, w) -> reports := !reports @ validate_func ?max_paths ~sym w) wits;
+  let prog = { Block.globals = cfg.Cfg.globals; funcs = List.map fst wits } in
   Block.validate_program prog;
-  if verify then verify_program ~stage:"link" prog;
-  prog
+  reports := !reports @ Transval.check_link prog;
+  (!reports, prog)
+
+let validate = run_validation
+
+let compile ?(verify = false) ?(validate = false) preset (p : Ast.program) :
+    Block.program =
+  if validate then begin
+    let reports, prog = run_validation preset p in
+    (match
+       List.find_opt
+         (fun (r : Transval.report) -> r.Transval.r_verdict = Transval.Vrefuted)
+         reports
+     with
+    | Some r ->
+      let guilty =
+        List.filter
+          (fun (r' : Transval.report) ->
+            r'.Transval.r_stage = r.Transval.r_stage
+            && r'.Transval.r_verdict = Transval.Vrefuted)
+          reports
+      in
+      raise (Verify_failed (r.Transval.r_stage, Transval.report_diags guilty))
+    | None -> ());
+    if verify then verify_program ~stage:"link" prog;
+    prog
+  end
+  else begin
+    let p = if preset.inline_pass then Transform.inline p else p in
+    let p =
+      if preset.unroll > 1 then Transform.unroll_program ~factor:preset.unroll p else p
+    in
+    let cfg = Lower.program p in
+    if preset.optimize then Opt.run_program cfg;
+    let layout = Image.layout cfg.Cfg.globals in
+    let funcs = List.map (compile_func ~verify preset ~layout) cfg.Cfg.funcs in
+    let prog = { Block.globals = cfg.Cfg.globals; funcs } in
+    Block.validate_program prog;
+    if verify then verify_program ~stage:"link" prog;
+    prog
+  end

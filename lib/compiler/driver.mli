@@ -34,10 +34,18 @@ exception Verify_failed of string * Trips_analysis.Diag.t list
     or "link"), i.e. that stage introduced them. *)
 
 val compile :
-  ?verify:bool -> preset -> Trips_tir.Ast.program -> Trips_edge.Block.program
+  ?verify:bool ->
+  ?validate:bool ->
+  preset ->
+  Trips_tir.Ast.program ->
+  Trips_edge.Block.program
 (** [~verify:true] runs the {!Trips_analysis.Analyzer} after each
     block-producing stage and raises {!Verify_failed} naming the stage
-    that introduced a violation.
+    that introduced a violation.  [~validate:true] additionally runs the
+    translation validator ({!Trips_analysis.Transval}) against every
+    pass checkpoint — optimization, splitting, hyperblock formation,
+    register allocation, dataflow conversion, scheduling, linking — and
+    raises {!Verify_failed} naming the first refuted stage.
     @raise Failure when a function cannot be made to fit even at the
     smallest budget (e.g. a single instruction stream with >32 live-in
     registers). *)
@@ -45,3 +53,43 @@ val compile :
 val compile_func :
   ?verify:bool ->
   preset -> layout:(string * int) list -> Trips_tir.Cfg.func -> Trips_edge.Block.func
+
+(** {1 Translation validation} *)
+
+type witness = {
+  w_fn : Trips_tir.Cfg.func;  (** post-opt input, before splitting *)
+  w_split : Trips_tir.Cfg.func;  (** after oversized blocks were split *)
+  w_hf : Hyperblock.hfunc;
+  w_ra : Regalloc.t;
+  w_presched :
+    (string
+    * (Trips_edge.Isa.inst array
+      * Trips_edge.Block.read array
+      * Trips_edge.Block.write array))
+    list;  (** per-block array snapshots taken before scheduling *)
+  w_bf : Trips_edge.Block.func;
+}
+
+val compile_func_wit :
+  ?verify:bool ->
+  preset ->
+  layout:(string * int) list ->
+  Trips_tir.Cfg.func ->
+  Trips_edge.Block.func * witness
+(** [compile_func] plus the intermediate structures every pass produced,
+    so each can be validated against its input. *)
+
+val validate_func :
+  ?max_paths:int ->
+  sym:(string -> int64) ->
+  witness ->
+  Trips_analysis.Transval.report list
+
+val validate :
+  ?max_paths:int ->
+  preset ->
+  Trips_tir.Ast.program ->
+  Trips_analysis.Transval.report list * Trips_edge.Block.program
+(** Compile and validate every pass checkpoint of every function,
+    returning all per-block reports (never raising on refutation) and
+    the compiled program. *)

@@ -4,6 +4,10 @@ type item =
   | Ins of Cfg.ins
   | If of Cfg.operand * item list * item list
   | Exit of exit_kind
+  | Lbl of string
+      (* merge marker: the items that follow came from this CFG block;
+         carries no semantics, but lets a validator walk the tree
+         structurally against the original CFG *)
 
 and exit_kind =
   | Ejump of string
@@ -21,6 +25,10 @@ type hfunc = {
   hblocks : hblock list;
   pinned : (Cfg.vreg * int) list;
   hnvregs : int;
+  hsynthetic : Cfg.block list;
+      (* call-continuation blocks minted during formation, exposed so a
+         translation validator can resolve [Lbl] markers that do not
+         name an original CFG block *)
 }
 
 type budget = {
@@ -172,7 +180,7 @@ and continue_to st g depth label : item list =
     g.path_labels <- label :: g.path_labels;
     let items = convert_ins st g depth [] ~ncalls:0 b.ins b.term label in
     g.path_labels <- List.tl g.path_labels;
-    items
+    Lbl label :: items
   end
   else begin
     if not (List.mem label g.seeds) then g.seeds <- label :: g.seeds;
@@ -226,6 +234,7 @@ let form budget (fn : Cfg.func) : hfunc =
     hblocks = List.rev !order;
     pinned;
     hnvregs = fn.next_vreg;
+    hsynthetic = Hashtbl.fold (fun _ b acc -> b :: acc) st.synthetic [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -235,14 +244,14 @@ let form budget (fn : Cfg.func) : hfunc =
 let item_uses = function
   | Ins i -> Cfg.uses i
   | If (c, _, _) -> [ c ]
-  | Exit _ -> []
+  | Exit _ | Lbl _ -> []
 
 let rec body_defs (items : item list) : Cfg.vreg list =
   List.concat_map
     (function
       | Ins i -> Cfg.defs i
       | If (_, t, e) -> body_defs t @ body_defs e
-      | Exit _ -> [])
+      | Exit _ | Lbl _ -> [])
     items
 
 (* Definitions guaranteed on every path to every exit: straight-line
@@ -254,6 +263,7 @@ let rec must_defs (items : item list) : Cfg.vreg list =
   match items with
   | [] -> []
   | Ins i :: rest -> Cfg.defs i @ must_defs rest
+  | Lbl _ :: rest -> must_defs rest
   | If (_, t, e) :: rest ->
     let dt = must_defs t and de = must_defs e in
     List.filter (fun v -> List.mem v de) dt @ must_defs rest
@@ -284,7 +294,7 @@ let body_uses_before_def (items : item list) : Cfg.vreg list =
           (* conservatively, only defs on both paths dominate the rest;
              since If is always last this does not matter in practice *)
           defined
-        | Exit _ -> defined)
+        | Exit _ | Lbl _ -> defined)
       defined items
   in
   let _ = go [] items in
@@ -293,7 +303,7 @@ let body_uses_before_def (items : item list) : Cfg.vreg list =
 let rec exits_of_items items =
   List.concat_map
     (function
-      | Ins _ -> []
+      | Ins _ | Lbl _ -> []
       | If (_, t, e) -> exits_of_items t @ exits_of_items e
       | Exit k -> [ k ])
     items
@@ -310,7 +320,8 @@ let rec pp_items ppf items =
           Cfg.pp_operand c pp_items t pp_items e
       | Exit (Ejump l) -> Format.fprintf ppf "exit -> %s@," l
       | Exit (Ecall (f, r)) -> Format.fprintf ppf "call %s, resume %s@," f r
-      | Exit Eret -> Format.fprintf ppf "return@,")
+      | Exit Eret -> Format.fprintf ppf "return@,"
+      | Lbl l -> Format.fprintf ppf "(* from %s *)@," l)
     items
 
 let pp_hblock ppf hb =

@@ -16,6 +16,9 @@ type item =
   | Ins of Trips_tir.Cfg.ins          (* never a [Call] *)
   | If of Trips_tir.Cfg.operand * item list * item list
   | Exit of exit_kind
+  | Lbl of string
+      (* semantics-free merge marker naming the CFG block the following
+         items came from; consumed by the translation validator *)
 
 and exit_kind =
   | Ejump of string
@@ -33,6 +36,9 @@ type hfunc = {
   hblocks : hblock list;
   pinned : (Trips_tir.Cfg.vreg * int) list;  (* ABI-pinned vregs -> arch regs *)
   hnvregs : int;
+  hsynthetic : Trips_tir.Cfg.block list;
+      (* call-continuation blocks minted during formation; resolves [Lbl]
+         markers that do not name an original CFG block *)
 }
 
 type budget = {
@@ -45,6 +51,12 @@ type budget = {
 
 val default_budget : budget
 val basic_block_budget : budget
+
+val abi_ret : int
+(** Architectural register pinned to the return value (r1). *)
+
+val abi_args : int list
+(** Architectural registers pinned to the arguments (r2..r9). *)
 
 val form : budget -> Trips_tir.Cfg.func -> hfunc
 (** @raise Failure on malformed input (e.g. more than 8 call arguments). *)

@@ -1,0 +1,340 @@
+(* Structural translation validation for the compiler-internal passes
+   whose output is not yet executable on its own: block splitting,
+   hyperblock formation and register allocation.  The semantic passes
+   (optimization, dataflow conversion, scheduling, linking, the RISC
+   backend) are checked symbolically by {!Trips_analysis.Transval};
+   the checks here establish that the intermediate structures faithfully
+   mirror the CFG, so the symbolic checks downstream start from a
+   trusted source region. *)
+
+module Cfg = Trips_tir.Cfg
+module H = Hyperblock
+module T = Trips_analysis.Transval
+module IS = Set.Make (Int)
+
+exception Mismatch of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Mismatch s)) fmt
+
+let ins_eq (a : Cfg.ins) (b : Cfg.ins) = Stdlib.compare a b = 0
+let term_eq (a : Cfg.term) (b : Cfg.term) = Stdlib.compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Source regions from hyperblock trees                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop the merge markers and map exits; the result feeds
+   {!Trips_analysis.Transval.check_hblock}. *)
+let rec ritems_of_items (items : H.item list) : T.ritem list =
+  List.concat_map
+    (function
+      | H.Lbl _ -> []
+      | H.Ins (Cfg.Call _) -> raise (Mismatch "call instruction inside a hyperblock")
+      | H.Ins i -> [ T.Rins i ]
+      | H.If (c, t, e) -> [ T.Rif (c, ritems_of_items t, ritems_of_items e) ]
+      | H.Exit (H.Ejump l) -> [ T.Rexit (T.Xjump l) ]
+      | H.Exit (H.Ecall (f, r)) -> [ T.Rexit (T.Xcall (f, r)) ]
+      | H.Exit H.Eret -> [ T.Rexit T.Xret ])
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Block splitting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* [split_large_blocks] may only replace a block by a chain of blocks
+   whose concatenated instructions and final terminator reproduce the
+   original; chain links are fresh ".splitN" labels absent from the
+   original function. *)
+let check_split ~fname (pre : Cfg.func) (post : Cfg.func) : T.report list =
+  let pre_labels =
+    List.fold_left
+      (fun s (b : Cfg.block) -> s |> fun s -> b.Cfg.label :: s)
+      [] pre.Cfg.blocks
+  in
+  let post_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (b : Cfg.block) -> Hashtbl.replace post_tbl b.Cfg.label b)
+    post.Cfg.blocks;
+  let used = Hashtbl.create 32 in
+  let report_of (b : Cfg.block) =
+    try
+      let rec collect label acc =
+        let sb =
+          match Hashtbl.find_opt post_tbl label with
+          | Some sb -> sb
+          | None -> fail "block %s missing after splitting" label
+        in
+        Hashtbl.replace used label ();
+        let acc = List.rev_append sb.Cfg.ins acc in
+        match sb.Cfg.term with
+        | Cfg.Jmp l2
+          when (let p = label ^ ".split" in
+                String.length l2 > String.length p
+                && String.sub l2 0 (String.length p) = p)
+               && not (List.mem l2 pre_labels) ->
+          collect l2 acc
+        | t -> (List.rev acc, t)
+      in
+      let ins, term = collect b.Cfg.label [] in
+      if not (List.length ins = List.length b.Cfg.ins && List.for_all2 ins_eq ins b.Cfg.ins)
+      then fail "block %s: instructions changed by splitting" b.Cfg.label;
+      if not (term_eq term b.Cfg.term) then
+        fail "block %s: terminator changed by splitting" b.Cfg.label;
+      T.mk_report ~stage:"split" ~fname ~block:b.Cfg.label T.Vproved 1 []
+    with Mismatch msg -> T.refuted_report ~stage:"split" ~fname ~block:b.Cfg.label msg
+  in
+  let reports = List.map report_of pre.Cfg.blocks in
+  let stray =
+    List.filter
+      (fun (b : Cfg.block) -> not (Hashtbl.mem used b.Cfg.label))
+      post.Cfg.blocks
+  in
+  reports
+  @ List.map
+      (fun (b : Cfg.block) ->
+        T.refuted_report ~stage:"split" ~fname ~block:b.Cfg.label
+          "block does not belong to any split chain")
+      stray
+
+(* ------------------------------------------------------------------ *)
+(* Hyperblock formation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Recover the ABI-pinned vregs from the pin list. *)
+let pins_of (hf : H.hfunc) =
+  let v_ret =
+    match List.find_opt (fun (_, r) -> r = H.abi_ret) hf.H.pinned with
+    | Some (v, _) -> v
+    | None -> raise (Mismatch "no pinned return-value vreg")
+  in
+  let v_args =
+    List.map
+      (fun r ->
+        match List.find_opt (fun (_, r') -> r' = r) hf.H.pinned with
+        | Some (v, _) -> v
+        | None -> raise (Mismatch "missing pinned argument vreg"))
+      H.abi_args
+    |> Array.of_list
+  in
+  (v_ret, v_args)
+
+(* Formation is checked by walking each hyperblock's item tree against
+   the CFG: items must replay block instructions verbatim, with three
+   rewrites allowed — [Ret v] becomes a move into the pinned return
+   vreg, a [Call] becomes argument moves plus a call exit whose
+   continuation block holds the remainder, and a [Br]/[Jmp] either
+   exits to a formed hyperblock or merges the successor under an [Lbl]
+   marker.  Tail duplication and loops are handled naturally: each
+   merge point re-enters the walker on the named block. *)
+let check_formation ~fname (fn : Cfg.func) (hf : H.hfunc) : T.report list =
+  let blocks = Hashtbl.create 32 in
+  List.iter (fun (b : Cfg.block) -> Hashtbl.replace blocks b.Cfg.label b) fn.Cfg.blocks;
+  List.iter
+    (fun (b : Cfg.block) -> Hashtbl.replace blocks b.Cfg.label b)
+    hf.H.hsynthetic;
+  let hlabels = Hashtbl.create 32 in
+  List.iter (fun (hb : H.hblock) -> Hashtbl.replace hlabels hb.H.hlabel ()) hf.H.hblocks;
+  let find_block label =
+    match Hashtbl.find_opt blocks label with
+    | Some b -> b
+    | None -> fail "no CFG block named %s" label
+  in
+  let check_hblock_body (v_ret, v_args) (hb : H.hblock) =
+    let require_hblock l =
+      if not (Hashtbl.mem hlabels l) then fail "exit to %s, which is not a hyperblock" l
+    in
+    let rec match_ins items ins term =
+      match (items, ins) with
+      | _, Cfg.Call (dst, callee, args) :: ins_rest ->
+        let rec eat items i =
+          if i >= List.length args then items
+          else
+            match items with
+            | H.Ins (Cfg.Mov (va, a)) :: tl
+              when va = v_args.(i) && Stdlib.compare a (List.nth args i) = 0 ->
+              eat tl (i + 1)
+            | _ -> fail "call to %s: argument marshalling mismatch" callee
+        in
+        (match eat items 0 with
+        | [ H.Exit (H.Ecall (callee', retl)) ] ->
+          if callee' <> callee then
+            fail "call exit names %s instead of %s" callee' callee;
+          require_hblock retl;
+          let cb = find_block retl in
+          let expect_ins =
+            (match dst with Some d -> [ Cfg.Mov (d, Cfg.Reg v_ret) ] | None -> [])
+            @ ins_rest
+          in
+          if
+            not
+              (List.length cb.Cfg.ins = List.length expect_ins
+              && List.for_all2 ins_eq cb.Cfg.ins expect_ins)
+          then fail "continuation %s does not hold the rest of the block" retl;
+          if not (term_eq cb.Cfg.term term) then
+            fail "continuation %s changes the terminator" retl
+        | _ -> fail "call to %s must end the path with a call exit" callee)
+      | H.Ins i :: tl, i' :: ins_rest ->
+        if not (ins_eq i i') then
+          fail "instruction mismatch in %s: expected %s" hb.H.hlabel
+            (Format.asprintf "%a" Cfg.pp_ins i');
+        match_ins tl ins_rest term
+      | items, [] -> match_term items term
+      | _, i' :: _ ->
+        fail "missing instruction in %s: %s" hb.H.hlabel
+          (Format.asprintf "%a" Cfg.pp_ins i')
+    and match_term items term =
+      match (term, items) with
+      | Cfg.Ret None, [ H.Exit H.Eret ] -> ()
+      | Cfg.Ret (Some v), [ H.Ins (Cfg.Mov (d, v')); H.Exit H.Eret ]
+        when d = v_ret && Stdlib.compare v v' = 0 ->
+        ()
+      | Cfg.Jmp l, items -> match_cont items l
+      | Cfg.Br (c, l1, l2), [ H.If (c', t, e) ] when Stdlib.compare c c' = 0 ->
+        match_cont t l1;
+        match_cont e l2
+      | _ -> fail "terminator mismatch in %s" hb.H.hlabel
+    and match_cont items l =
+      match items with
+      | [ H.Exit (H.Ejump l') ] when l' = l -> require_hblock l
+      | H.Lbl l' :: rest when l' = l ->
+        let b = find_block l in
+        match_ins rest b.Cfg.ins b.Cfg.term
+      | _ -> fail "continuation to %s is neither an exit nor a merged block" l
+    in
+    let b = find_block hb.H.hlabel in
+    let body =
+      if hb.H.hlabel = hf.H.hentry then begin
+        (* entry: parameters are bound from the pinned argument vregs *)
+        let rec eat body i = function
+          | [] -> body
+          | (p, _) :: ps -> (
+            match body with
+            | H.Ins (Cfg.Mov (p', src)) :: tl
+              when p' = p && Stdlib.compare src (Cfg.Reg v_args.(i)) = 0 ->
+              eat tl (i + 1) ps
+            | _ -> fail "entry block does not bind parameter v%d" p)
+        in
+        eat hb.H.body 0 fn.Cfg.params
+      end
+      else hb.H.body
+    in
+    match_ins body b.Cfg.ins b.Cfg.term
+  in
+  try
+    let pins = pins_of hf in
+    if hf.H.hentry <> (Cfg.entry fn).Cfg.label then
+      [
+        T.refuted_report ~stage:"hyperblock" ~fname ~block:hf.H.hentry
+          "entry label does not match the CFG entry";
+      ]
+    else
+      List.map
+        (fun (hb : H.hblock) ->
+          try
+            check_hblock_body pins hb;
+            T.mk_report ~stage:"hyperblock" ~fname ~block:hb.H.hlabel T.Vproved 1 []
+          with Mismatch msg ->
+            T.refuted_report ~stage:"hyperblock" ~fname ~block:hb.H.hlabel msg)
+        hf.H.hblocks
+  with Mismatch msg -> [ T.refuted_report ~stage:"hyperblock" ~fname ~block:"*" msg ]
+
+(* ------------------------------------------------------------------ *)
+(* Register allocation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The allocation is validated by property, not by replay: the claimed
+   liveness tables must be a sound fixpoint of the dataflow equations
+   (so they may over- but never under-approximate), every live value
+   must hold a register distinct from every other value live at the
+   same boundary, pins must be respected, and each block's write set
+   must cover exactly the defs that are live out (with the callee-
+   written return register excluded at call exits).  Together with the
+   per-block symbolic check of dataflow conversion this closes the
+   cross-block argument: values pass between blocks through registers
+   that no other live value or declared write clobbers. *)
+let check_regalloc ~fname (hf : H.hfunc) (ra : Regalloc.t) : T.report list =
+  let bad = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  (try
+     let v_ret, _ = pins_of hf in
+     let arg_pins =
+       IS.of_list (List.filter_map (fun (v, r) -> if r <> H.abi_ret then Some v else None) hf.H.pinned)
+     in
+     List.iter
+       (fun (v, r) ->
+         match Hashtbl.find_opt ra.Regalloc.assign v with
+         | Some r' when r' = r -> ()
+         | Some r' -> err "pinned v%d assigned r%d instead of r%d" v r' r
+         | None -> err "pinned v%d has no register" v)
+       hf.H.pinned;
+     let live tbl l = IS.of_list (Option.value ~default:[] (Hashtbl.find_opt tbl l)) in
+     List.iter
+       (fun (hb : H.hblock) ->
+         let l = hb.H.hlabel in
+         let li = live ra.Regalloc.live_in l and lo = live ra.Regalloc.live_out l in
+         let defs = IS.of_list (H.body_defs hb.H.body) in
+         let kill = IS.of_list (H.prefix_defs hb.H.body) in
+         let uses = IS.of_list (H.body_uses_before_def hb.H.body) in
+         let exits = H.exits_of hb in
+         let call_exit = List.exists (function H.Ecall _ -> true | _ -> false) exits in
+         (* use/use_end below, transfer soundness *)
+         IS.iter
+           (fun v -> if not (IS.mem v li) then err "%s: used v%d not live-in" l v)
+           uses;
+         List.iter
+           (function
+             | H.Eret ->
+               if not (IS.mem v_ret lo) then err "%s: v_ret not live-out at ret" l
+             | H.Ecall _ ->
+               IS.iter
+                 (fun v ->
+                   if not (IS.mem v lo) then
+                     err "%s: argument pin v%d not live-out at call" l v)
+                 (IS.inter defs arg_pins)
+             | H.Ejump l2 ->
+               IS.iter
+                 (fun v ->
+                   if not (IS.mem v lo) then
+                     err "%s: v%d live into %s but not live-out" l v l2)
+                 (live ra.Regalloc.live_in l2))
+           exits;
+         IS.iter
+           (fun v ->
+             if not (IS.mem v li) then err "%s: v%d live-out survives kill but not live-in" l v)
+           (IS.diff lo kill);
+         (* assignments exist and are injective per boundary *)
+         let check_boundary what s =
+           let seen = Hashtbl.create 16 in
+           IS.iter
+             (fun v ->
+               match Hashtbl.find_opt ra.Regalloc.assign v with
+               | None -> err "%s: %s v%d has no register" l what v
+               | Some r -> (
+                 if r < 0 || r >= Trips_edge.Isa.num_regs then
+                   err "%s: v%d assigned out-of-range r%d" l v r;
+                 match Hashtbl.find_opt seen r with
+                 | Some v' -> err "%s: %s v%d and v%d share r%d" l what v v' r
+                 | None -> Hashtbl.replace seen r v))
+             s
+         in
+         check_boundary "live-in" li;
+         check_boundary "live-out" lo;
+         (* write set rule *)
+         let defs' = if call_exit then IS.add v_ret defs else defs in
+         let expect = IS.inter defs' lo in
+         let expect =
+           if call_exit && not (IS.mem v_ret defs) then IS.remove v_ret expect
+           else expect
+         in
+         let claimed =
+           IS.of_list (Option.value ~default:[] (Hashtbl.find_opt ra.Regalloc.write_set l))
+         in
+         if not (IS.equal claimed expect) then
+           err "%s: write set {%s} differs from defs-live-out {%s}" l
+             (String.concat "," (List.map string_of_int (IS.elements claimed)))
+             (String.concat "," (List.map string_of_int (IS.elements expect))))
+       hf.H.hblocks
+   with Mismatch msg -> bad := msg :: !bad);
+  match !bad with
+  | [] -> [ T.mk_report ~stage:"regalloc" ~fname ~block:"*" T.Vproved 1 [] ]
+  | msgs -> List.rev_map (fun m -> T.refuted_report ~stage:"regalloc" ~fname ~block:"*" m) msgs

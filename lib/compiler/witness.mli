@@ -1,0 +1,41 @@
+(** Structural translation validation of the compiler-internal passes.
+
+    Complements {!Trips_analysis.Transval}: block splitting, hyperblock
+    formation and register allocation produce intermediate structures
+    rather than executable code, so they are validated structurally
+    (splitting, formation) or by property (allocation) instead of
+    symbolically.  See DESIGN.md §11. *)
+
+exception Mismatch of string
+
+val ritems_of_items :
+  Hyperblock.item list -> Trips_analysis.Transval.ritem list
+(** Source region of a hyperblock body: merge markers dropped, exits
+    mapped.  @raise Mismatch if a [Call] instruction survived formation. *)
+
+val check_split :
+  fname:string ->
+  Trips_tir.Cfg.func ->
+  Trips_tir.Cfg.func ->
+  Trips_analysis.Transval.report list
+(** Every original block must be reproduced by a chain of split blocks
+    with identical concatenated instructions and final terminator. *)
+
+val check_formation :
+  fname:string ->
+  Trips_tir.Cfg.func ->
+  Hyperblock.hfunc ->
+  Trips_analysis.Transval.report list
+(** Walk every hyperblock's item tree against the (split) CFG:
+    instructions verbatim, returns rewritten through the pinned return
+    vreg, calls split at continuation blocks, branch arms either
+    exiting to formed hyperblocks or merging under [Lbl] markers. *)
+
+val check_regalloc :
+  fname:string ->
+  Hyperblock.hfunc ->
+  Regalloc.t ->
+  Trips_analysis.Transval.report list
+(** Liveness tables must be a sound fixpoint, live values must hold
+    distinct registers per block boundary, pins must be respected and
+    write sets must equal the defs-live-out rule. *)

@@ -203,6 +203,22 @@ let all =
                (fun () -> ignore (Timing_xv.predict Platforms.C b)) ])
            Registry.all)
       Timing_xv.crossval;
+    experiment ~id:"transval" ~title:"Translation validation sweep"
+      ~claim:
+        "Every compiler pass — optimization, block splitting, hyperblock \
+         formation, register allocation, dataflow conversion, scheduling, \
+         linking — plus the RISC backend preserves TIR semantics on every \
+         registered workload: the symbolic validator proves all blocks \
+         equivalent with zero refutations"
+      ~warm:
+        (List.concat_map
+           (fun (b : Registry.bench) ->
+             List.map
+               (fun tag () -> ignore (Transval_xv.validate_edge tag b))
+               Transval_xv.all_presets
+             @ [ (fun () -> ignore (Transval_xv.validate_risc b)) ])
+           Registry.all)
+      Transval_xv.crossval;
   ]
 
 let find id = List.find (fun e -> e.id = id) all

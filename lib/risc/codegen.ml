@@ -319,8 +319,17 @@ let parallel_moves moves ~scratch ~emit_move =
       | [] -> ())
   done
 
-let compile ?(optimize = true) ?(unroll = 1) ?(inline = true) (p : Ast.program) :
-    Isa.program =
+type fwitness = {
+  wf_cfg : Cfg.func;
+  wf_cls : rclass array;
+  wf_assign : assignment array;
+  wf_frame : int;
+  wf_has_frame : bool;
+  wf_nslots : int;
+}
+
+let compile_witnessed ?(optimize = true) ?(unroll = 1) ?(inline = true)
+    (p : Ast.program) : Isa.program * (string * fwitness) list * (string * int) list =
   let p = if inline then Transform.inline p else p in
   let p = if unroll > 1 then Transform.unroll_program ~factor:unroll p else p in
   let cfg = Lower.program p in
@@ -337,7 +346,7 @@ let compile ?(optimize = true) ?(unroll = 1) ?(inline = true) (p : Ast.program) 
     | Some f -> f.Cfg.ret
     | None -> None
   in
-  let compile_func (f : Cfg.func) : Isa.func =
+  let compile_func (f : Cfg.func) : Isa.func * fwitness =
     let cls = infer_classes ~ret_ty f in
     let assign, nslots = allocate f cls in
     let e =
@@ -583,12 +592,21 @@ let compile ?(optimize = true) ?(unroll = 1) ?(inline = true) (p : Ast.program) 
           code.(idx) <- Isa.Bc (r, label_idx l, idx + 1)
         | _ -> assert false)
       e.fixups;
-    { Isa.fname = f.name; code; labels = e.label_at }
+    ({ Isa.fname = f.name; code; labels = e.label_at },
+     { wf_cfg = f; wf_cls = cls; wf_assign = assign; wf_frame = frame;
+       wf_has_frame = has_frame; wf_nslots = nslots })
   in
-  let funcs = List.map compile_func cfg.Cfg.funcs in
-  {
-    Isa.globals = cfg.Cfg.globals;
-    funcs;
-    pool = Hashtbl.fold (fun v a acc -> (a, v) :: acc) pool_tbl [];
-    pool_base;
-  }
+  let compiled = List.map compile_func cfg.Cfg.funcs in
+  let prog =
+    {
+      Isa.globals = cfg.Cfg.globals;
+      funcs = List.map fst compiled;
+      pool = Hashtbl.fold (fun v a acc -> (a, v) :: acc) pool_tbl [];
+      pool_base;
+    }
+  in
+  (prog, List.map (fun ((rf : Isa.func), w) -> (rf.Isa.fname, w)) compiled, layout)
+
+let compile ?optimize ?unroll ?inline p =
+  let prog, _, _ = compile_witnessed ?optimize ?unroll ?inline p in
+  prog

@@ -14,3 +14,28 @@ val compile :
 (** Defaults: [optimize = true], [unroll = 1], [inline = true] — roughly
     "gcc -O2" shape.  Pass [unroll = 4] for the icc-like preset used on the
     reference platforms. *)
+
+(** {1 Translation-validation witness} *)
+
+type rclass = Ci_ | Cf_  (** integer / float register class of a vreg *)
+
+type assignment = Reg of int | Spill of int  (** physical reg or stack slot *)
+
+type fwitness = {
+  wf_cfg : Trips_tir.Cfg.func;  (** the post-opt CFG the code was emitted from *)
+  wf_cls : rclass array;  (** per-vreg register class *)
+  wf_assign : assignment array;  (** per-vreg location *)
+  wf_frame : int;  (** frame size in bytes *)
+  wf_has_frame : bool;
+  wf_nslots : int;  (** spill slots *)
+}
+
+val compile_witnessed :
+  ?optimize:bool ->
+  ?unroll:int ->
+  ?inline:bool ->
+  Trips_tir.Ast.program ->
+  Isa.program * (string * fwitness) list * (string * int) list
+(** [compile] plus a per-function witness and the data layout, so a
+    translation validator can replay each CFG block against its emitted
+    code range. *)
