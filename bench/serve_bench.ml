@@ -1,0 +1,285 @@
+(* Closed-loop load benchmark for the trips_serve daemon.
+
+   Three phases against in-process servers (no process management, so the
+   same binary runs under CI):
+
+   - dedup: a burst of identical concurrent requests against a 1-worker
+     cold server; exactly one job computes, the rest coalesce onto it or
+     hit the cache it fills.
+   - levels: a warmed 4-worker server swept at increasing concurrency
+     over a mixed verb/bench spec list; throughput and latency
+     percentiles per level.
+   - shed: 32 concurrent *distinct* cold requests against a 1-worker,
+     2-deep-queue server; the overflow must come back as explicit 429s,
+     not hang.
+
+   Output: a JSON report (default _results/serve-report.json) gated by
+   check.sh against the thresholds committed in bench/BENCH_serve.json. *)
+
+module Json = Trips_util.Json
+module Server = Trips_serve.Server
+module Client = Trips_serve.Client
+module Load = Trips_serve.Load
+module Protocol = Trips_serve.Protocol
+module Service = Trips_harness.Service
+module Pool = Trips_engine.Pool
+module Registry = Trips_workloads.Registry
+
+let host = "127.0.0.1"
+
+let temp_dir prefix =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d" prefix (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let spec verb bench preset =
+  match Service.make ~verb ~bench ~preset with
+  | Result.Ok r ->
+    {
+      Load.s_path = Protocol.api_prefix ^ verb;
+      Load.s_body = Protocol.run_request_body r;
+    }
+  | Result.Error msg -> failwith (verb ^ "/" ^ bench ^ ": " ^ msg)
+
+(* -- phase 1: in-flight dedup ---------------------------------------- *)
+
+(* One worker, cold cache, [burst] identical concurrent requests: the
+   first admitted computes; everything arriving while it is queued or
+   running coalesces; anything after completion hits the cache it wrote.
+   computed stays 1 either way. *)
+let run_dedup ~burst =
+  let dir = temp_dir "trips-serve-dedup" in
+  let t =
+    Server.start
+      {
+        Server.default_config with
+        Server.workers = 1;
+        queue_capacity = 16;
+        cache_dir = Some dir;
+      }
+  in
+  let port = Server.port t in
+  let s = spec "simulate" "fft" "C" in
+  let oks = Atomic.make 0 and bad = Atomic.make 0 in
+  let threads =
+    List.init burst (fun _ ->
+        Thread.create
+          (fun () ->
+            match Client.post_json ~host ~port s.Load.s_path s.Load.s_body with
+            | Result.Ok { Trips_serve.Http.status = 200; _ } ->
+              Atomic.incr oks
+            | _ -> Atomic.incr bad)
+          ())
+  in
+  List.iter Thread.join threads;
+  let st = Server.pool_stats t in
+  Server.stop t;
+  rm_rf dir;
+  let computed = st.Pool.executed in
+  let coalesced = st.Pool.coalesced in
+  let cache_hits = st.Pool.cache_hits in
+  Printf.eprintf
+    "dedup: %d identical requests -> %d computed, %d coalesced, %d cache \
+     hits, %d failed\n%!"
+    burst computed coalesced cache_hits (Atomic.get bad);
+  Json.Obj
+    [
+      ("requests", Json.Int burst);
+      ("ok", Json.Int (Atomic.get oks));
+      ("failed", Json.Int (Atomic.get bad));
+      ("computed", Json.Int computed);
+      ("coalesced", Json.Int coalesced);
+      ("cache_hits", Json.Int cache_hits);
+      ( "coalesce_rate",
+        Json.Float (float_of_int coalesced /. float_of_int burst) );
+    ]
+
+(* -- phase 2: throughput/latency sweep ------------------------------- *)
+
+let level_specs () =
+  (* a mixed read-mostly workload over the first few registry benches;
+     lint/compile/timing are cheap enough to sweep at depth *)
+  let benches =
+    List.filteri (fun i _ -> i < 4) Registry.all
+    |> List.map (fun (b : Registry.bench) -> b.Registry.name)
+  in
+  List.concat_map
+    (fun b -> [ spec "timing" b "C"; spec "lint" b "C"; spec "compile" b "C" ])
+    benches
+
+let run_levels ~levels ~repeat =
+  let dir = temp_dir "trips-serve-levels" in
+  let t =
+    Server.start
+      {
+        Server.default_config with
+        Server.workers = 4;
+        queue_capacity = 256;
+        cache_dir = Some dir;
+      }
+  in
+  let port = Server.port t in
+  let specs = level_specs () in
+  (* warm: every spec once, so the sweep measures the steady state the
+     daemon actually serves (cache + memo warm), not first-touch cost *)
+  List.iter
+    (fun (s : Load.spec) ->
+      ignore (Client.post_json ~host ~port s.Load.s_path s.Load.s_body))
+    specs;
+  let results =
+    List.map
+      (fun concurrency ->
+        let l = Load.run_level ~host ~port ~concurrency ~repeat specs in
+        Printf.eprintf
+          "level c=%-3d %d requests  %.0f req/s  p50 %.4fs  p99 %.4fs  (%d \
+           shed, %d failed)\n%!"
+          concurrency l.Load.requests l.Load.throughput_rps
+          (Trips_util.Histogram.quantile l.Load.hist 0.5)
+          (Trips_util.Histogram.quantile l.Load.hist 0.99)
+          l.Load.shed l.Load.failed;
+        l)
+      levels
+  in
+  let st = Server.pool_stats t in
+  Server.stop t;
+  rm_rf dir;
+  (results, st)
+
+(* -- phase 3: saturation shed ---------------------------------------- *)
+
+let shed_specs () =
+  (* distinct cold keys: every verb x the first benches x both qualities,
+     trimmed to 32 *)
+  let benches =
+    List.map (fun (b : Registry.bench) -> b.Registry.name) Registry.all
+  in
+  let all =
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun v -> [ spec v b "C"; spec v b "H" ])
+          [ "simulate"; "timing"; "compile"; "lint"; "transval" ])
+      benches
+  in
+  List.filteri (fun i _ -> i < 32) all
+
+let run_shed () =
+  let t =
+    Server.start
+      {
+        Server.default_config with
+        Server.workers = 1;
+        queue_capacity = 2;
+        cache_dir = None;
+      }
+  in
+  let port = Server.port t in
+  let specs = shed_specs () in
+  let ok = Atomic.make 0 and shed = Atomic.make 0 and other = Atomic.make 0 in
+  let threads =
+    List.map
+      (fun (s : Load.spec) ->
+        Thread.create
+          (fun () ->
+            match Client.post_json ~host ~port s.Load.s_path s.Load.s_body with
+            | Result.Ok { Trips_serve.Http.status = 200; _ } -> Atomic.incr ok
+            | Result.Ok { Trips_serve.Http.status = 429; _ } ->
+              Atomic.incr shed
+            | _ -> Atomic.incr other)
+          ())
+      specs
+  in
+  List.iter Thread.join threads;
+  let st = Server.pool_stats t in
+  Server.stop t;
+  Printf.eprintf "shed: %d distinct requests -> %d ok, %d shed, %d other\n%!"
+    (List.length specs) (Atomic.get ok) (Atomic.get shed) (Atomic.get other);
+  Json.Obj
+    [
+      ("requests", Json.Int (List.length specs));
+      ("ok", Json.Int (Atomic.get ok));
+      ("shed", Json.Int (Atomic.get shed));
+      ("other", Json.Int (Atomic.get other));
+      ("pool_shed", Json.Int st.Pool.shed);
+    ]
+
+(* -- driver ----------------------------------------------------------- *)
+
+let () =
+  let out = ref "_results/serve-report.json" in
+  let repeat = ref 20 in
+  let burst = ref 16 in
+  let levels = ref [ 1; 4; 8 ] in
+  let set_levels s =
+    levels := List.map int_of_string (String.split_on_char ',' s)
+  in
+  Arg.parse
+    [
+      ("--out", Arg.Set_string out, "FILE  report path");
+      ("--repeat", Arg.Set_int repeat, "N  requests per client per level");
+      ("--burst", Arg.Set_int burst, "N  identical requests in dedup phase");
+      ("--levels", Arg.String set_levels, "C1,C2,...  concurrency levels");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serve_bench: closed-loop load benchmark for trips_serve";
+  let dedup = run_dedup ~burst:!burst in
+  let level_results, pool = run_levels ~levels:!levels ~repeat:!repeat in
+  let shed = run_shed () in
+  let peak =
+    List.fold_left
+      (fun best (l : Load.level) ->
+        match best with
+        | Some (b : Load.level) when b.Load.throughput_rps >= l.Load.throughput_rps
+          -> best
+        | _ -> Some l)
+      None level_results
+  in
+  let peak_tp, peak_p50, peak_p99 =
+    match peak with
+    | None -> (0., 0., 0.)
+    | Some l ->
+      ( l.Load.throughput_rps,
+        Trips_util.Histogram.quantile l.Load.hist 0.5,
+        Trips_util.Histogram.quantile l.Load.hist 0.99 )
+  in
+  let total_level_reqs =
+    List.fold_left (fun a (l : Load.level) -> a + l.Load.requests) 0
+      level_results
+  in
+  let report =
+    Json.Obj
+      [
+        ("schema", Json.Int 1);
+        ("dedup", dedup);
+        ("levels", Json.List (List.map Load.level_json level_results));
+        ("shed", shed);
+        ("peak_throughput_rps", Json.Float peak_tp);
+        ("peak_p50_s", Json.Float peak_p50);
+        ("peak_p99_s", Json.Float peak_p99);
+        ( "sweep_cache_hit_rate",
+          Json.Float
+            (if total_level_reqs = 0 then 0.
+             else
+               float_of_int (pool.Pool.cache_hits + pool.Pool.coalesced)
+               /. float_of_int pool.Pool.submitted) );
+      ]
+  in
+  let dir = Filename.dirname !out in
+  if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let oc = open_out !out in
+  output_string oc (Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "report: %s\n%!" !out

@@ -967,6 +967,83 @@ let simbench_cmd =
     (Cmd.info "simbench" ~doc ~man)
     Term.(ret (const simbench_main $ preset $ fixture $ out $ compare_ref))
 
+(* -- serve-client: talk to a running trips_serve daemon --------------- *)
+
+let serve_client_main host port what bench preset =
+  let module Client = Trips_serve.Client in
+  let show = function
+    | Result.Error msg -> `Error (false, "request failed: " ^ msg)
+    | Result.Ok (resp : Trips_serve.Http.response) ->
+      print_endline resp.Trips_serve.Http.r_body;
+      if resp.Trips_serve.Http.status = 200 then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "server answered %d %s" resp.Trips_serve.Http.status
+              (Trips_serve.Http.reason resp.Trips_serve.Http.status) )
+  in
+  match what with
+  | "health" -> show (Client.get ~host ~port "/health")
+  | "metrics" -> show (Client.get ~host ~port "/metrics")
+  | "verbs" -> show (Client.get ~host ~port "/api/v1/verbs")
+  | verb -> (
+    match bench with
+    | None ->
+      `Error (false, "verb '" ^ verb ^ "' needs a BENCH positional argument")
+    | Some bench -> (
+      match Trips_harness.Service.make ~verb ~bench ~preset with
+      | Result.Error msg -> `Error (false, msg)
+      | Result.Ok r ->
+        show
+          (Client.post_json ~host ~port
+             (Trips_serve.Protocol.api_prefix ^ verb)
+             (Trips_serve.Protocol.run_request_body r))))
+
+let serve_client_cmd =
+  let doc = "Query a running trips_serve daemon." in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "trips_run serve-client health";
+      `P "trips_run serve-client timing fft --preset C --port 8123";
+      `P "trips_run serve-client metrics";
+    ]
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 8123
+      & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let what =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WHAT"
+          ~doc:
+            "One of health, metrics, verbs, or a run verb (compile, lint, \
+             timing, simulate, transval).")
+  in
+  let bench =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name for run verbs.")
+  in
+  let preset =
+    Arg.(
+      value & opt string "C"
+      & info [ "preset" ] ~docv:"PRESET" ~doc:"Code-quality preset.")
+  in
+  Cmd.v
+    (Cmd.info "serve-client" ~doc ~man)
+    Term.(ret (const serve_client_main $ host $ port $ what $ bench $ preset))
+
 (* -- default: the parallel experiment engine -------------------------- *)
 
 module Engine = Trips_engine.Engine
@@ -1097,4 +1174,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_term info
           [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd;
-            transval_cmd; simbench_cmd ]))
+            transval_cmd; simbench_cmd; serve_client_cmd ]))

@@ -1,0 +1,105 @@
+(* The trips_serve daemon: the experiment engine behind an HTTP front
+   door.
+
+     trips_serve                                  -- 127.0.0.1:8123
+     trips_serve --port 0 --workers 8             -- ephemeral port
+     trips_serve --cache-dir _results/cache       -- persistent results
+
+   Stops cleanly on SIGINT/SIGTERM: admission closes (new work answers
+   503), admitted jobs drain, then the process exits. *)
+
+open Cmdliner
+module Server = Trips_serve.Server
+
+let serve host port workers queue_capacity cache_dir conn_timeout_s verbose =
+  let cfg =
+    {
+      Server.host;
+      port;
+      workers;
+      queue_capacity;
+      cache_dir;
+      conn_timeout_s;
+      verbose;
+    }
+  in
+  (* Mask the stop signals BEFORE spawning any thread or domain: every
+     thread inherits the mask, so delivery parks on [Thread.wait_signal]
+     below instead of racing a handler against threads blocked in C
+     calls (select, pthread_cond_wait) that never reach a safepoint. *)
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match Server.start cfg with
+  | exception Unix.Unix_error (e, fn, arg) ->
+    `Error
+      (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | t ->
+    Printf.printf "trips_serve: listening on %s:%d (%d workers, queue %d%s)\n%!"
+      host (Server.port t) workers queue_capacity
+      (match cache_dir with
+      | Some d -> ", cache " ^ d
+      | None -> ", no cache");
+    let (_ : int) = Thread.wait_signal [ Sys.sigint; Sys.sigterm ] in
+    Server.request_stop t;
+    prerr_endline "trips_serve: draining...";
+    Server.stop t;
+    let s = Server.pool_stats t in
+    Printf.eprintf
+      "trips_serve: stopped (%d submitted, %d executed, %d cache hits, %d \
+       coalesced, %d shed)\n"
+      s.Trips_engine.Pool.submitted s.Trips_engine.Pool.executed
+      s.Trips_engine.Pool.cache_hits s.Trips_engine.Pool.coalesced
+      s.Trips_engine.Pool.shed;
+    `Ok ()
+
+let () =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 8123
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port; 0 picks an ephemeral port.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers"; "j" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue bound; beyond it requests are shed (429).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"On-disk result cache shared with trips_run.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "conn-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-connection receive/send timeout.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Access log on stderr.")
+  in
+  let doc = "TRIPS simulation-as-a-service daemon" in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "trips_serve" ~doc)
+          Term.(
+            ret
+              (const serve $ host $ port $ workers $ queue $ cache_dir
+             $ timeout $ verbose))))

@@ -66,6 +66,73 @@ awk -v s="$speedup" -v ms="$min_speedup" 'BEGIN {
   }
 }'
 
+echo "== serve smoke: trips_serve health + timing + metrics =="
+# Direct _build paths: dune exec holds the project lock for the child's
+# lifetime, which would deadlock the client calls against the daemon.
+./_build/default/bin/trips_serve.exe --port 0 --workers 2 > serve.log 2>&1 &
+serve_pid=$!
+port=""
+i=0
+while [ $i -lt 100 ]; do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' serve.log)
+  [ -n "$port" ] && break
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$port" ] || {
+  echo "trips_serve did not come up (see serve.log)" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+./_build/default/bin/trips_run.exe serve-client health --port "$port" \
+  | grep -q '"status": "ok"' || {
+  echo "serve smoke: /health did not answer ok" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+./_build/default/bin/trips_run.exe serve-client timing fft --preset C \
+  --port "$port" | grep -q '"ok": true' || {
+  echo "serve smoke: timing request failed" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+./_build/default/bin/trips_run.exe serve-client metrics --port "$port" \
+  | grep -q '"requests": ' || {
+  echo "serve smoke: /metrics did not report counters" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+echo "serve smoke: health + timing + metrics OK on port $port"
+
+echo "== serve load benchmark: bench/serve_bench =="
+./_build/default/bench/serve_bench.exe --out serve-report.json
+computed=$(sed -n 's/.*"computed": \([0-9]*\).*/\1/p' serve-report.json | head -1)
+rate=$(sed -n 's/.*"coalesce_rate": \([0-9.eE+-]*\).*/\1/p' serve-report.json | head -1)
+tp=$(sed -n 's/.*"peak_throughput_rps": \([0-9.eE+-]*\).*/\1/p' serve-report.json | head -1)
+p99=$(sed -n 's/.*"peak_p99_s": \([0-9.eE+-]*\).*/\1/p' serve-report.json | head -1)
+shed=$(sed -n 's/.*"shed": \([0-9]*\).*/\1/p' serve-report.json | tail -1)
+max_computed=$(sed -n 's/.*"max_dedup_computed": \([0-9]*\).*/\1/p' bench/BENCH_serve.json)
+min_rate=$(sed -n 's/.*"min_dedup_coalesce_rate": \([0-9.]*\).*/\1/p' bench/BENCH_serve.json)
+min_tp=$(sed -n 's/.*"min_peak_throughput_rps": \([0-9.]*\).*/\1/p' bench/BENCH_serve.json)
+max_p99=$(sed -n 's/.*"max_peak_p99_s": \([0-9.]*\).*/\1/p' bench/BENCH_serve.json)
+min_shed=$(sed -n 's/.*"min_shed": \([0-9]*\).*/\1/p' bench/BENCH_serve.json)
+awk -v c="$computed" -v r="$rate" -v t="$tp" -v p="$p99" -v s="$shed" \
+    -v mc="$max_computed" -v mr="$min_rate" -v mt="$min_tp" -v mp="$max_p99" \
+    -v ms="$min_shed" 'BEGIN {
+  if (c == "" || r == "" || t == "" || p == "" || s == "") {
+    print "serve bench: fields missing from serve-report.json" > "/dev/stderr"
+    exit 1
+  }
+  printf "serve bench: dedup computed %d (max %d), coalesce rate %.2f (min %.2f)\n", c, mc, r, mr
+  printf "serve bench: peak %.0f req/s (min %.0f), p99 %.4fs (max %.2fs), %d shed (min %d)\n", t, mt, p, mp, s, ms
+  if (c + 0 > mc + 0 || r + 0 < mr + 0 || t + 0 < mt + 0 || p + 0 > mp + 0 || s + 0 < ms + 0) {
+    print "serve bench regressed past bench/BENCH_serve.json thresholds" > "/dev/stderr"
+    exit 1
+  }
+}'
+
 echo "== engine smoke: trips_run --id table1 --jobs 2 --format json =="
 out=$(dune exec bin/trips_run.exe -- --id table1 --jobs 2 --format json 2>/dev/null)
 echo "$out" | grep -q '"title": "Table 1' || {

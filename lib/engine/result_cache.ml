@@ -13,8 +13,23 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Crashed writers leave behind "<digest>.res.<pid>.tmp" files that no
+   rename will ever consume; sweep them when the cache is (re)opened.  A
+   *live* concurrent writer whose temp file is swept merely fails its
+   rename, and store is best-effort, so the race is harmless. *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".tmp" then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      entries
+  | exception Sys_error _ -> ()
+
 let open_ dir =
   mkdir_p dir;
+  sweep_tmp dir;
   { dir }
 
 let dir t = t.dir
@@ -43,17 +58,35 @@ let find t ~key =
       else None
     with _ -> None
 
+let write_all fd data =
+  let len = String.length data in
+  let bytes = Bytes.unsafe_of_string data in
+  let rec go off =
+    if off < len then go (off + Unix.write fd bytes off (len - off))
+  in
+  go 0
+
 let store t ~key table =
   let file = path t ~key in
   let tmp = Printf.sprintf "%s.%d.tmp" file (Unix.getpid ()) in
   let data = Marshal.to_string (format, key, Table.serialize table) [] in
   try
-    let oc = open_out_bin tmp in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
     Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc data);
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd data;
+        (* fsync before the rename: a daemon killed mid-write must never
+           publish a torn entry under the final name *)
+        Unix.fsync fd);
     (* rename within one directory is atomic: concurrent writers of the
        same key race harmlessly to identical content *)
     Sys.rename tmp file
   with Sys_error _ | Unix.Unix_error _ ->
     (try Sys.remove tmp with Sys_error _ -> ())
+
+(* Length-prefixing makes the join injective: no choice of parts can
+   collide with a different split, whatever characters they contain. *)
+let key ~parts =
+  String.concat "/"
+    (List.map (fun p -> string_of_int (String.length p) ^ ":" ^ p) parts)

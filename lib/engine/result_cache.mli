@@ -5,8 +5,11 @@
     [Trips_harness.Experiments]).  Entries live under one directory as
     [<md5(key)>.res] files carrying a format tag and the verbatim key, so a
     digest collision or foreign file reads as a miss, never as a wrong
-    table.  Writes go through a temp file and rename, making concurrent
-    writers (workers, or whole parallel runs sharing a cache dir) safe. *)
+    table.  Writes go through a temp file, fsync, then rename, so
+    concurrent writers (workers, or whole parallel runs sharing a cache
+    dir) are safe and a crashed or killed process can never publish a
+    torn entry; temp files such a crash abandons are swept on the next
+    {!open_}. *)
 
 type t
 
@@ -14,7 +17,8 @@ val mkdir_p : string -> unit
 (** [mkdir -p]: create a directory and its missing parents. *)
 
 val open_ : string -> t
-(** Open (creating directories as needed) a cache rooted at the path. *)
+(** Open (creating directories as needed) a cache rooted at the path,
+    sweeping stale [*.tmp] files left by crashed writers. *)
 
 val dir : t -> string
 
@@ -29,3 +33,10 @@ val digest : string -> string
 
 val path : t -> key:string -> string
 (** On-disk location an entry for [key] would occupy. *)
+
+val key : parts:string list -> string
+(** Canonical content-addressed key from identity parts (experiment or
+    verb id, configuration fingerprint, workload name, ...).  The
+    encoding is injective — distinct part lists can never collide — so
+    every producer of cache keys (batch engine, service front door) can
+    share it. *)

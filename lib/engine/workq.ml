@@ -4,6 +4,7 @@ type 'a t = {
   lock : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
+  drained : Condition.t;
   items : 'a Queue.t;
   capacity : int;
   mutable closed : bool;
@@ -15,6 +16,7 @@ let create ~capacity =
     lock = Mutex.create ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
+    drained = Condition.create ();
     items = Queue.create ();
     capacity;
     closed = false;
@@ -31,6 +33,21 @@ let push t x =
   Queue.push x t.items;
   Condition.signal t.not_empty;
   Mutex.unlock t.lock
+
+(* Admission-control primitive: a producer that must never block (a
+   request thread holding a connection open) sheds instead. *)
+let try_push t x =
+  Mutex.lock t.lock;
+  if t.closed then (
+    Mutex.unlock t.lock;
+    raise Closed);
+  let admitted = Queue.length t.items < t.capacity in
+  if admitted then begin
+    Queue.push x t.items;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.lock;
+  admitted
 
 (* Consumers feeding continuation work back into the queue must never block
    on the bound: every worker blocked in [push] is a worker not draining,
@@ -55,6 +72,7 @@ let pop t =
     else begin
       let x = Queue.pop t.items in
       Condition.signal t.not_full;
+      if t.closed && Queue.is_empty t.items then Condition.broadcast t.drained;
       Some x
     end
   in
@@ -66,6 +84,20 @@ let close t =
   t.closed <- true;
   Condition.broadcast t.not_empty;
   Condition.broadcast t.not_full;
+  if Queue.is_empty t.items then Condition.broadcast t.drained;
+  Mutex.unlock t.lock
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
+
+let wait_drained t =
+  Mutex.lock t.lock;
+  while not (t.closed && Queue.is_empty t.items) do
+    Condition.wait t.drained t.lock
+  done;
   Mutex.unlock t.lock
 
 let length t =

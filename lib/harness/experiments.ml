@@ -42,6 +42,8 @@ let fingerprint =
      in
      Digest.to_hex (Digest.string (Marshal.to_string deps [])))
 
+let content_fingerprint () = Lazy.force fingerprint
+
 let cache_key_of id =
   Printf.sprintf "%s/schema%d/%s" id schema (Lazy.force fingerprint)
 

@@ -20,6 +20,13 @@ type experiment = {
 
 val all : experiment list
 
+val content_fingerprint : unit -> string
+(** The shared configuration/workload digest every cache key embeds:
+    a Marshal digest of all modeled platform configurations and the full
+    workload set.  Exposed so other front doors (the {!Service} request
+    handlers, the serve daemon) address the same {!Trips_engine.Result_cache}
+    entries with the same content identity. *)
+
 val find : string -> experiment
 (** @raise Not_found for unknown ids. *)
 

@@ -1,0 +1,69 @@
+(* One-shot HTTP client: a request per connection, [Connection: close],
+   read to EOF.  Deliberately simple — the daemon's keep-alive path is
+   exercised by the tests, not by this client. *)
+
+let connect ~host ~port ~timeout_s =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> failwith ("cannot resolve " ^ host)
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found -> failwith ("cannot resolve " ^ host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+   with Unix.Unix_error _ -> ());
+  match Unix.connect fd (Unix.ADDR_INET (inet, port)) with
+  | () -> fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let read_to_eof fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let request ?(timeout_s = 30.) ~host ~port ~meth ~path ?(body = "") () =
+  match connect ~host ~port ~timeout_s with
+  | exception e -> Result.Error (Printexc.to_string e)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let head =
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n" meth path
+            host port
+        in
+        let msg =
+          if body = "" && meth <> "POST" then head ^ "\r\n"
+          else
+            head
+            ^ Printf.sprintf
+                "Content-Type: application/json\r\nContent-Length: %d\r\n\r\n"
+                (String.length body)
+            ^ body
+        in
+        Http.write_all fd msg;
+        match read_to_eof fd with
+        | "" -> Result.Error "empty response (connection reset or timeout)"
+        | raw -> Http.parse_response raw)
+
+let get ?timeout_s ~host ~port path =
+  request ?timeout_s ~host ~port ~meth:"GET" ~path ()
+
+let post_json ?timeout_s ~host ~port path body =
+  request ?timeout_s ~host ~port ~meth:"POST" ~path ~body ()

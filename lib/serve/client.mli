@@ -1,0 +1,21 @@
+(** Minimal blocking HTTP client used by [serve-client], the load
+    generator and the end-to-end tests.  One connection per request
+    ([Connection: close]); responses are read to EOF and parsed with
+    {!Http.parse_response}. *)
+
+val request :
+  ?timeout_s:float ->
+  host:string -> port:int -> meth:string -> path:string ->
+  ?body:string -> unit ->
+  (Http.response, string) result
+(** [timeout_s] (default 30) bounds connect/send/receive via socket
+    timeouts; errors (refused, timeout, malformed response) come back as
+    [Error msg] rather than exceptions. *)
+
+val get :
+  ?timeout_s:float -> host:string -> port:int -> string ->
+  (Http.response, string) result
+
+val post_json :
+  ?timeout_s:float -> host:string -> port:int -> string -> string ->
+  (Http.response, string) result

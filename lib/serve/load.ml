@@ -1,0 +1,92 @@
+module Histogram = Trips_util.Histogram
+module Json = Trips_util.Json
+
+type spec = { s_path : string; s_body : string }
+
+type level = {
+  concurrency : int;
+  requests : int;
+  ok : int;
+  shed : int;        (* HTTP 429 *)
+  failed : int;      (* transport errors and non-200/429 statuses *)
+  wall_s : float;
+  throughput_rps : float;
+  hist : Histogram.t;
+}
+
+(* Per-worker tallies, merged after the join — no shared mutable state on
+   the hot path. *)
+type tally = {
+  mutable t_ok : int;
+  mutable t_shed : int;
+  mutable t_failed : int;
+  t_hist : Histogram.t;
+}
+
+let run_level ~host ~port ~concurrency ~repeat specs =
+  if specs = [] then invalid_arg "Load.run_level: no request specs";
+  let n_specs = List.length specs in
+  let spec_arr = Array.of_list specs in
+  let worker w =
+    let t =
+      { t_ok = 0; t_shed = 0; t_failed = 0; t_hist = Histogram.create () }
+    in
+    for i = 0 to repeat - 1 do
+      (* round-robin across specs, offset per worker so concurrent
+         workers spread over the mix *)
+      let s = spec_arr.(((w * repeat) + i) mod n_specs) in
+      let t0 = Unix.gettimeofday () in
+      (match
+         Client.post_json ~host ~port s.s_path s.s_body
+       with
+      | Result.Ok { Http.status = 200; _ } ->
+        Histogram.observe t.t_hist (Unix.gettimeofday () -. t0);
+        t.t_ok <- t.t_ok + 1
+      | Result.Ok { Http.status = 429; _ } -> t.t_shed <- t.t_shed + 1
+      | Result.Ok _ | Result.Error _ -> t.t_failed <- t.t_failed + 1)
+    done;
+    t
+  in
+  let results = Array.make concurrency None in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init concurrency (fun w ->
+        Thread.create (fun () -> results.(w) <- Some (worker w)) ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let hist = Histogram.create () in
+  let ok = ref 0 and shed = ref 0 and failed = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some t ->
+        ok := !ok + t.t_ok;
+        shed := !shed + t.t_shed;
+        failed := !failed + t.t_failed;
+        Histogram.merge_into ~dst:hist t.t_hist)
+    results;
+  let requests = concurrency * repeat in
+  {
+    concurrency;
+    requests;
+    ok = !ok;
+    shed = !shed;
+    failed = !failed;
+    wall_s;
+    throughput_rps = (if wall_s > 0. then float_of_int !ok /. wall_s else 0.);
+    hist;
+  }
+
+let level_json l =
+  Json.Obj
+    [
+      ("concurrency", Json.Int l.concurrency);
+      ("requests", Json.Int l.requests);
+      ("ok", Json.Int l.ok);
+      ("shed", Json.Int l.shed);
+      ("failed", Json.Int l.failed);
+      ("wall_s", Json.Float l.wall_s);
+      ("throughput_rps", Json.Float l.throughput_rps);
+      ("latency", Histogram.to_json l.hist);
+    ]

@@ -1,0 +1,24 @@
+(** Closed-loop load generator: [concurrency] client threads each issue
+    [repeat] requests back-to-back (a new connection per request),
+    round-robining over the spec mix.  Closed-loop means offered load
+    adapts to service rate — the generator measures capacity, it cannot
+    overrun the server except through concurrency itself. *)
+
+type spec = { s_path : string; s_body : string }
+
+type level = {
+  concurrency : int;
+  requests : int;          (* concurrency * repeat *)
+  ok : int;                (* HTTP 200 *)
+  shed : int;              (* HTTP 429 back-pressure *)
+  failed : int;            (* transport errors, other statuses *)
+  wall_s : float;
+  throughput_rps : float;  (* ok / wall *)
+  hist : Trips_util.Histogram.t;  (* per-request latency, 200s only *)
+}
+
+val run_level :
+  host:string -> port:int -> concurrency:int -> repeat:int -> spec list ->
+  level
+
+val level_json : level -> Trips_util.Json.t

@@ -1,0 +1,44 @@
+(** JSON request/response protocol of the simulation service.
+
+    Endpoints:
+    - [GET /health] — liveness + queue depth.
+    - [GET /metrics] — counters, latency histogram, pool statistics.
+    - [GET /api/v1/verbs] — catalog of verbs, presets and benchmarks.
+    - [POST /api/v1/<verb>] with body [{"bench": "fft", "preset": "C"}] —
+      run one request ([compile], [lint], [timing], [simulate],
+      [transval]).
+    - [POST /api/v1/run] — same, with ["verb"] carried in the body.
+
+    Success bodies are [{ok, verb, bench, preset, origin, elapsed_s,
+    result}] where [origin] is ["computed"], ["cache"] or ["coalesced"]
+    and [result] is the experiment table as [{title, columns, rows}].
+    Error bodies are [{ok: false, error: <code>, message}]; saturation
+    answers HTTP 429 with [error: "saturated"] and a [Retry-After]
+    header rather than queueing without bound. *)
+
+type route =
+  | Health
+  | Metrics
+  | Catalog
+  | Run of string  (* verb token from the path; "run" = verb in body *)
+  | Unknown
+
+val api_prefix : string
+val route_of_path : string -> route
+
+val parse_run_request :
+  verb_token:string -> string -> (Trips_harness.Service.request, string) result
+(** Decode and validate a run request body; the error string is
+    client-presentable (unknown verb/bench/preset, malformed JSON, ...). *)
+
+val run_request_body : Trips_harness.Service.request -> string
+(** The canonical body a client posts for [r] (used by the load
+    generator and [serve-client]). *)
+
+val result_body :
+  Trips_harness.Service.request ->
+  origin:string -> elapsed_s:float -> Trips_util.Table.t -> string
+
+val error_body : code:string -> string -> string
+
+val catalog_body : unit -> string

@@ -1,0 +1,89 @@
+(* Log-bucketed latency histogram: bucket i spans (base*2^(i-1), base*2^i],
+   base = 1 microsecond.  44 buckets reach ~8.8e6 seconds, far past any
+   request latency; observations beyond the last bound clamp into it. *)
+
+let base = 1e-6
+let nbuckets = 44
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable max_seen : float;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; n = 0; total = 0.; max_seen = 0. }
+
+let reset t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.n <- 0;
+  t.total <- 0.;
+  t.max_seen <- 0.
+
+let bound i = base *. Float.of_int (1 lsl i)
+
+let bucket_of x =
+  let rec go i = if i >= nbuckets - 1 || x <= bound i then i else go (i + 1) in
+  go 0
+
+let observe t x =
+  let x = if Float.is_nan x || x < 0. then 0. else x in
+  t.counts.(bucket_of x) <- t.counts.(bucket_of x) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  if x > t.max_seen then t.max_seen <- x
+
+let count t = t.n
+let total t = t.total
+let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+let max_value t = t.max_seen
+
+let quantile t q =
+  if t.n = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (ceil (q *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else rank in
+    let rec go i acc =
+      if i >= nbuckets then t.max_seen
+      else
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then
+          (* geometric midpoint of the bucket, clamped to the observed max *)
+          let lo = if i = 0 then base /. 2. else bound (i - 1) in
+          Float.min (sqrt (lo *. bound i)) t.max_seen
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let merge_into ~dst src =
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.total <- dst.total +. src.total;
+  if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
+
+let buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bound i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.n);
+      ("mean_s", Json.Float (mean t));
+      ("max_s", Json.Float t.max_seen);
+      ("p50_s", Json.Float (quantile t 0.5));
+      ("p90_s", Json.Float (quantile t 0.9));
+      ("p99_s", Json.Float (quantile t 0.99));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, c) ->
+               Json.Obj [ ("le_s", Json.Float le); ("count", Json.Int c) ])
+             (buckets t)) );
+    ]

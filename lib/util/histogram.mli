@@ -1,0 +1,38 @@
+(** Log-bucketed latency histogram.
+
+    Fixed buckets double from one microsecond upward, so [observe] is
+    O(buckets) worst case with no allocation, and quantiles are estimated
+    to within a factor of [sqrt 2] (each estimate is its bucket's
+    geometric midpoint, clamped to the observed maximum).  Plenty for
+    p50/p99 service latency; not a general-purpose statistic.
+
+    Not thread-safe: callers that share one histogram across threads or
+    domains must hold their own lock (the server's metrics registry
+    does). *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val observe : t -> float -> unit
+(** Record one latency in seconds.  Negative and NaN observations clamp
+    to zero rather than raising: a clock that steps backwards must not
+    kill a server. *)
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val max_value : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t 0.99] estimates the 99th percentile; 0 when empty. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add [src]'s counts into [dst] (per-thread histograms folded into one). *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as (inclusive upper bound in seconds, count). *)
+
+val to_json : t -> Json.t
+(** Count, mean/max, p50/p90/p99 and the non-empty buckets. *)

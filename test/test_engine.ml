@@ -198,6 +198,252 @@ let test_engine_cache_hit_skips_run () =
     (Table.render (mk_table "expensive"))
     (render_of r.Engine.outcome)
 
+(* -- Workq admission / drain ------------------------------------------ *)
+
+let test_workq_try_push () =
+  let q = Workq.create ~capacity:2 in
+  Alcotest.(check bool) "admitted 1" true (Workq.try_push q 1);
+  Alcotest.(check bool) "admitted 2" true (Workq.try_push q 2);
+  Alcotest.(check bool) "full sheds" false (Workq.try_push q 3);
+  Alcotest.(check int) "shed item not enqueued" 2 (Workq.length q);
+  ignore (Workq.pop q);
+  Alcotest.(check bool) "slot freed" true (Workq.try_push q 3);
+  Workq.close q;
+  Alcotest.check_raises "try_push after close" Workq.Closed (fun () ->
+      ignore (Workq.try_push q 4))
+
+let test_workq_wait_drained () =
+  let q = Workq.create ~capacity:8 in
+  List.iter (Workq.push q) [ 1; 2; 3 ];
+  Alcotest.(check bool) "not closed yet" false (Workq.is_closed q);
+  let drained = Atomic.make false in
+  let waiter =
+    Domain.spawn (fun () ->
+        Workq.wait_drained q;
+        Atomic.set drained true)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec go n = match Workq.pop q with None -> n | Some _ -> go (n + 1) in
+        go 0)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "waiter blocked before close" false (Atomic.get drained);
+  Workq.close q;
+  Alcotest.(check bool) "closed" true (Workq.is_closed q);
+  let popped = Domain.join consumer in
+  Domain.join waiter;
+  Alcotest.(check int) "nothing admitted was lost" 3 popped;
+  Alcotest.(check bool) "drained after close + empty" true (Atomic.get drained)
+
+(* -- Result cache durability ------------------------------------------ *)
+
+let test_cache_sweeps_stale_tmp () =
+  with_temp_dir @@ fun dir ->
+  let c = Result_cache.open_ dir in
+  Result_cache.store c ~key:"keep" (mk_table "keep");
+  (* a crash between write and rename leaves a .tmp behind *)
+  let tmp = Filename.concat dir "dead.tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc "torn half-written entry";
+  close_out oc;
+  let c2 = Result_cache.open_ dir in
+  Alcotest.(check bool) "stale tmp swept on open" false (Sys.file_exists tmp);
+  Alcotest.(check bool) "committed entry survives the sweep" true
+    (Result_cache.find c2 ~key:"keep" <> None)
+
+let test_cache_store_leaves_no_tmp () =
+  with_temp_dir @@ fun dir ->
+  let c = Result_cache.open_ dir in
+  List.iter
+    (fun i -> Result_cache.store c ~key:(string_of_int i) (mk_table "x"))
+    [ 1; 2; 3 ];
+  let tmps =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "rename committed every entry" [] tmps
+
+let test_cache_key_injective () =
+  let k parts = Result_cache.key ~parts in
+  Alcotest.(check bool) "field shift changes the key" true
+    (k [ "ab"; "c" ] <> k [ "a"; "bc" ]);
+  Alcotest.(check bool) "separator in a part cannot collide" true
+    (k [ "a/b" ] <> k [ "a"; "b" ]);
+  Alcotest.(check string) "deterministic" (k [ "x"; "y" ]) (k [ "x"; "y" ])
+
+(* -- Pool: admission, coalescing, cancellation, shutdown -------------- *)
+
+module Pool = Trips_engine.Pool
+
+(* a job that blocks until [gate] opens, so tests control overlap *)
+let gated_job gate tag () =
+  while not (Atomic.get gate) do
+    Unix.sleepf 0.002
+  done;
+  mk_table tag
+
+let wait_for ?(timeout_s = 5.) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then false
+    else (
+      Unix.sleepf 0.002;
+      go ())
+  in
+  go ()
+
+let test_pool_coalesces_identical_keys () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:8 () in
+  let gate = Atomic.make false in
+  let submit () =
+    Pool.submit pool ~cache_key:"k" ~id:"job" (gated_job gate "shared")
+  in
+  let first = submit () in
+  Alcotest.(check bool) "first admitted" true
+    (match first with Pool.Admitted _ -> true | _ -> false);
+  let rest = List.init 5 (fun _ -> submit ()) in
+  List.iter
+    (fun a ->
+      match a with
+      | Pool.Admitted _ -> ()
+      | _ -> Alcotest.fail "identical submit not admitted")
+    rest;
+  Atomic.set gate true;
+  let outcomes =
+    List.map
+      (function
+        | Pool.Admitted t -> Pool.await t
+        | _ -> Alcotest.fail "unreachable")
+      (first :: rest)
+  in
+  let origins =
+    List.map
+      (function
+        | Pool.Done (_, o) -> o | Pool.Error e -> Alcotest.fail e)
+      outcomes
+  in
+  Alcotest.(check int) "exactly one computed" 1
+    (List.length (List.filter (fun o -> o = Pool.Computed) origins));
+  Alcotest.(check int) "everyone else coalesced" 5
+    (List.length (List.filter (fun o -> o = Pool.Coalesced) origins));
+  List.iter
+    (function
+      | Pool.Done (t, _) ->
+        Alcotest.(check string) "one table for all"
+          (Table.render (mk_table "shared"))
+          (Table.render t)
+      | Pool.Error e -> Alcotest.fail e)
+    outcomes;
+  let s = Pool.stats pool in
+  Alcotest.(check int) "stats: executed once" 1 s.Pool.executed;
+  Alcotest.(check int) "stats: coalesced" 5 s.Pool.coalesced;
+  Pool.shutdown pool
+
+let test_pool_sheds_when_full () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:1 () in
+  let gate = Atomic.make false in
+  (* distinct keys so nothing coalesces: worker occupied + queue of 1 *)
+  let submit i =
+    Pool.submit pool ~cache_key:(string_of_int i) ~id:"job"
+      (gated_job gate (string_of_int i))
+  in
+  let a = submit 0 in
+  Alcotest.(check bool) "worker job admitted" true
+    (match a with Pool.Admitted _ -> true | _ -> false);
+  Alcotest.(check bool) "worker picked it up" true
+    (wait_for (fun () -> (Pool.stats pool).Pool.running = 1));
+  let b = submit 1 in
+  Alcotest.(check bool) "queue slot admitted" true
+    (match b with Pool.Admitted _ -> true | _ -> false);
+  let c = submit 2 in
+  Alcotest.(check bool) "overflow is shed, not blocked" true (c = Pool.Shed);
+  Alcotest.(check int) "stats count the shed" 1 (Pool.stats pool).Pool.shed;
+  Atomic.set gate true;
+  List.iter
+    (function
+      | Pool.Admitted t -> (
+        match Pool.await t with
+        | Pool.Done _ -> ()
+        | Pool.Error e -> Alcotest.fail e)
+      | _ -> ())
+    [ a; b ];
+  Pool.shutdown pool
+
+let test_pool_cancel_queued_job_drops () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:4 () in
+  let gate = Atomic.make false in
+  let ran_b = Atomic.make false in
+  (match Pool.submit pool ~id:"a" (gated_job gate "a") with
+  | Pool.Admitted _ -> ()
+  | _ -> Alcotest.fail "a not admitted");
+  Alcotest.(check bool) "a running" true
+    (wait_for (fun () -> (Pool.stats pool).Pool.running = 1));
+  let tb =
+    match
+      Pool.submit pool ~cache_key:"b" ~id:"b" (fun () ->
+          Atomic.set ran_b true;
+          mk_table "b")
+    with
+    | Pool.Admitted t -> t
+    | _ -> Alcotest.fail "b not admitted"
+  in
+  Alcotest.(check bool) "cancel detaches queued job" true (Pool.cancel tb);
+  Atomic.set gate true;
+  Pool.shutdown pool;
+  let s = Pool.stats pool in
+  Alcotest.(check bool) "cancelled job never ran" false (Atomic.get ran_b);
+  Alcotest.(check int) "stats: dropped" 1 s.Pool.dropped;
+  Alcotest.(check int) "stats: cancelled" 1 s.Pool.cancelled
+
+let test_pool_shutdown_drains_and_rejects () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:8 () in
+  let done_count = Atomic.make 0 in
+  let tickets =
+    List.init 6 (fun i ->
+        match
+          Pool.submit pool ~id:(string_of_int i) (fun () ->
+              Unix.sleepf 0.01;
+              Atomic.incr done_count;
+              mk_table (string_of_int i))
+        with
+        | Pool.Admitted t -> t
+        | _ -> Alcotest.fail "not admitted")
+  in
+  Pool.shutdown pool;
+  Alcotest.(check int) "every admitted job drained" 6 (Atomic.get done_count);
+  List.iter
+    (fun t ->
+      match Pool.await t with
+      | Pool.Done _ -> ()
+      | Pool.Error e -> Alcotest.fail e)
+    tickets;
+  (match Pool.submit pool ~id:"late" (fun () -> mk_table "late") with
+  | Pool.Closed -> ()
+  | _ -> Alcotest.fail "submit after shutdown must report Closed");
+  Pool.shutdown pool (* idempotent *)
+
+let test_pool_cache_hit_settles_immediately () =
+  with_temp_dir @@ fun dir ->
+  let cache = Result_cache.open_ dir in
+  Result_cache.store cache ~key:"hot" (mk_table "hot");
+  let pool = Pool.create ~workers:1 ~cache () in
+  (match Pool.submit pool ~cache_key:"hot" ~id:"hot" (fun () ->
+       Alcotest.fail "cache hit must not execute")
+   with
+  | Pool.Admitted t -> (
+    match Pool.await t with
+    | Pool.Done (table, Pool.Cache_hit) ->
+      Alcotest.(check string) "stored table returned"
+        (Table.render (mk_table "hot"))
+        (Table.render table)
+    | Pool.Done _ -> Alcotest.fail "expected Cache_hit origin"
+    | Pool.Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "not admitted");
+  Alcotest.(check int) "stats: cache hit" 1 (Pool.stats pool).Pool.cache_hits;
+  Pool.shutdown pool
+
 let () =
   Alcotest.run "engine"
     [
@@ -205,6 +451,23 @@ let () =
         [
           Alcotest.test_case "fifo and close" `Quick test_workq_fifo;
           Alcotest.test_case "bound blocks producers" `Quick test_workq_bound_blocks;
+          Alcotest.test_case "try_push sheds at the bound" `Quick
+            test_workq_try_push;
+          Alcotest.test_case "wait_drained after close" `Quick
+            test_workq_wait_drained;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "identical keys coalesce onto one job" `Quick
+            test_pool_coalesces_identical_keys;
+          Alcotest.test_case "full queue sheds explicitly" `Quick
+            test_pool_sheds_when_full;
+          Alcotest.test_case "cancelled queued job is dropped" `Quick
+            test_pool_cancel_queued_job_drops;
+          Alcotest.test_case "shutdown drains admitted, rejects new" `Quick
+            test_pool_shutdown_drains_and_rejects;
+          Alcotest.test_case "cache hit settles without executing" `Quick
+            test_pool_cache_hit_settles_immediately;
         ] );
       ( "scheduling",
         [
@@ -225,5 +488,11 @@ let () =
             test_cache_corrupt_entry_is_miss;
           Alcotest.test_case "hit returns stored table without run" `Quick
             test_engine_cache_hit_skips_run;
+          Alcotest.test_case "stale tmp swept on open" `Quick
+            test_cache_sweeps_stale_tmp;
+          Alcotest.test_case "store commits atomically" `Quick
+            test_cache_store_leaves_no_tmp;
+          Alcotest.test_case "key builder is injective" `Quick
+            test_cache_key_injective;
         ] );
     ]
