@@ -1044,6 +1044,174 @@ let serve_client_cmd =
     (Cmd.info "serve-client" ~doc ~man)
     Term.(ret (const serve_client_main $ host $ port $ what $ bench $ preset))
 
+(* -- fuzz ------------------------------------------------------------- *)
+
+module Fuzz_gen = Trips_fuzz.Gen
+module Fuzz_oracle = Trips_fuzz.Oracle
+module Fuzz_batch = Trips_fuzz.Batch
+module Fuzz_corpus = Trips_fuzz.Corpus
+
+let fuzz_main seed count presets max_stmts jobs inject shrink_evals format out
+    corpus =
+  try
+    let count =
+      match count with
+      | Some n -> n
+      | None -> (
+        match Sys.getenv_opt "TRIPS_FUZZ_FULL" with
+        | Some ("1" | "true" | "yes") -> 5000
+        | _ -> 100)
+    in
+    let presets =
+      match presets with
+      | [] -> Fuzz_oracle.all_presets
+      | ps -> List.map lint_preset_of ps
+    in
+    let inject =
+      Option.map
+        (fun s ->
+          match Fuzz_oracle.inject_of_string s with
+          | Some i -> i
+          | None ->
+            invalid_arg ("unknown injection " ^ s ^ " (geni-bump|imm-bump)"))
+        inject
+    in
+    let oracle = Fuzz_xv.oracle ~presets ?inject () in
+    let gen_cfg = { Fuzz_gen.default_cfg with Fuzz_gen.max_stmts } in
+    let t =
+      Fuzz_batch.run ~workers:jobs ~gen_cfg ~shrink_evals oracle ~seed ~count ()
+    in
+    let report_json = Fuzz_batch.to_json t in
+    (match format with
+    | "txt" -> Trips_util.Table.print (Fuzz_batch.table t)
+    | "json" -> print_string (Json.to_string report_json)
+    | f -> invalid_arg ("unknown format " ^ f ^ " (txt|json)"));
+    (match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string report_json);
+      close_out oc;
+      Printf.eprintf "fuzz report: %s\n" file
+    | None -> ());
+    (match corpus with
+    | Some dir ->
+      List.iter
+        (fun ((r : Fuzz_batch.row), (f : Fuzz_oracle.failure), sh) ->
+          let config = if f.Fuzz_oracle.f_config = "" then "ref" else f.Fuzz_oracle.f_config in
+          let entry =
+            {
+              Fuzz_corpus.e_name =
+                Printf.sprintf "s%d-%s-%s" r.Fuzz_batch.b_seed
+                  f.Fuzz_oracle.f_check config;
+              e_seed = r.Fuzz_batch.b_seed;
+              e_check = f.Fuzz_oracle.f_check;
+              e_config = f.Fuzz_oracle.f_config;
+              e_detail = f.Fuzz_oracle.f_detail;
+              e_inject = t.Fuzz_batch.bt_inject;
+              e_program = sh.Trips_fuzz.Shrink.sh_program;
+            }
+          in
+          Printf.eprintf "corpus entry: %s\n" (Fuzz_corpus.save dir entry))
+        (Fuzz_batch.divergences t)
+    | None -> ());
+    if t.Fuzz_batch.bt_divergent > 0 then
+      `Error
+        ( false,
+          Printf.sprintf "fuzz: %d divergence(s) across %d program(s)"
+            t.Fuzz_batch.bt_divergent count )
+    else `Ok ()
+  with Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+
+let fuzz_cmd =
+  let doc = "Differentially fuzz the whole pipeline with random TIR programs." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates seeded, well-typed random TIR programs (nested loops, \
+         predication-heavy control, aliasing loads/stores, recursion, mixed \
+         int/float arithmetic with division/shift edge operands) and runs \
+         each through every selected compilation preset with verification \
+         and translation validation on, cross-checking: strict lint \
+         cleanliness, the static timing lower bound against simulated \
+         cycles, and the EDGE executor, cycle simulator, lowered-CFG \
+         interpreter and RISC backend against the AST interpreter. \
+         Divergences auto-shrink to minimal repros.";
+      `P
+        "The run is deterministic for a fixed $(b,--seed) regardless of \
+         $(b,--jobs): reports are byte-identical. Set TRIPS_FUZZ_FULL=1 to \
+         raise the default program count to 5000.";
+    ]
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Base generator seed (programs use seed, seed+1, ...).")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Programs to generate (default 100; 5000 under TRIPS_FUZZ_FULL=1).")
+  in
+  let presets =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "preset" ] ~docv:"O0|C|H|BB"
+          ~doc:"Code-quality preset (repeatable; default all four).")
+  in
+  let max_stmts =
+    Arg.(
+      value & opt int Fuzz_gen.default_cfg.Fuzz_gen.max_stmts
+      & info [ "max-stmts" ] ~docv:"N" ~doc:"Statement budget per function.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the engine.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"geni-bump|imm-bump"
+          ~doc:
+            "Inject a compiler bug into every compiled program (the PR 6 \
+             mutation style); the oracle must catch and shrink it.")
+  in
+  let shrink_evals =
+    Arg.(
+      value & opt int 2000
+      & info [ "shrink-evals" ] ~docv:"N"
+          ~doc:"Oracle evaluation budget per shrink.")
+  in
+  let format =
+    Arg.(
+      value & opt string "txt"
+      & info [ "format" ] ~docv:"txt|json" ~doc:"Report rendering.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Save every shrunk divergence as a corpus entry under $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      ret
+        (const fuzz_main $ seed $ count $ presets $ max_stmts $ jobs $ inject
+       $ shrink_evals $ format $ out $ corpus))
+
 (* -- default: the parallel experiment engine -------------------------- *)
 
 module Engine = Trips_engine.Engine
@@ -1174,4 +1342,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_term info
           [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd;
-            transval_cmd; simbench_cmd; serve_client_cmd ]))
+            transval_cmd; simbench_cmd; fuzz_cmd; serve_client_cmd ]))

@@ -30,6 +30,19 @@ echo "translation validation: $proved block(s) proved, $refuted refuted"
   exit 1
 }
 
+echo "== differential fuzzing: trips_run fuzz --seed 1 =="
+# 100-program smoke by default; TRIPS_FUZZ_FULL=1 deepens the sweep to
+# 5000 programs (the nightly configuration).  Any divergence exits
+# nonzero with the auto-shrunk repro in the report.
+dune exec bin/trips_run.exe -- fuzz --seed 1 --out fuzz-report.json >/dev/null
+divergent=$(sed -n 's/.*"divergent": \([0-9]*\).*/\1/p' fuzz-report.json | head -1)
+checked=$(sed -n 's/.*"count": \([0-9]*\).*/\1/p' fuzz-report.json | head -1)
+echo "differential fuzzing: $checked program(s), $divergent divergence(s)"
+[ "$divergent" = "0" ] || {
+  echo "differential fuzzing found divergences (see fuzz-report.json)" >&2
+  exit 1
+}
+
 echo "== static timing: trips_run timing --simple --xval =="
 dune exec bin/trips_run.exe -- timing --simple --xval --preset C --format json \
   --out timing-report.json >/dev/null

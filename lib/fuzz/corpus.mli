@@ -1,0 +1,40 @@
+(** Committed corpus of minimized failing programs.
+
+    Entries are stored as JSON (via {!Trips_util.Json}) carrying the full
+    AST — int64s as decimal strings, floats as their IEEE-754 bit
+    patterns, so round-trips are exact — plus the failure metadata and a
+    human-readable {!Trips_tir.Ast.pp} rendering.  [dune runtest] replays
+    every entry under [test/corpus/]. *)
+
+exception Bad of string
+
+val jprogram : Trips_tir.Ast.program -> Trips_util.Json.t
+
+val of_jprogram : Trips_util.Json.t -> Trips_tir.Ast.program
+(** @raise Bad on malformed input. *)
+
+type entry = {
+  e_name : string;   (** file basename without [.json] *)
+  e_seed : int;      (** generator seed the divergence came from *)
+  e_check : string;  (** {!Oracle.failure} check kind *)
+  e_config : string;
+  e_detail : string;
+  e_inject : string option;
+      (** when set, the entry only fails with this injected compiler bug
+          ({!Oracle.inject_of_string}); replay re-applies it *)
+  e_program : Trips_tir.Ast.program;
+}
+
+val entry_to_json : entry -> Trips_util.Json.t
+
+val entry_of_json : Trips_util.Json.t -> entry
+(** @raise Bad on malformed input. *)
+
+val save : string -> entry -> string
+(** [save dir entry] writes [dir/<name>.json] (creating [dir] if needed)
+    and returns the path. *)
+
+val load : string -> (entry, string) result
+
+val load_dir : string -> (string * (entry, string) result) list
+(** All [*.json] entries under a directory, sorted by name. *)

@@ -1,0 +1,23 @@
+(** Seeded, typed random TIR program generator.
+
+    Programs are well-typed by construction ({!Typecheck.check} always
+    succeeds on the output), terminate by construction (for-loops have
+    constant bounds, while-loops decrement a dedicated counter, recursion
+    carries an explicit depth budget that strictly decreases), and never
+    trap (divisors are forced nonzero, addresses are masked in-bounds and
+    width-aligned into three shared globals so loads/stores alias
+    heavily).  Equal seeds give byte-equal programs. *)
+
+type cfg = {
+  max_stmts : int;     (** statement budget for [main]'s body *)
+  max_depth : int;     (** maximum control-flow nesting depth *)
+  max_funcs : int;     (** maximum number of helper functions *)
+  max_expr_depth : int;(** maximum expression tree depth *)
+}
+
+val default_cfg : cfg
+
+val gen_program : ?cfg:cfg -> seed:int -> unit -> Trips_tir.Ast.program
+(** Generate the program for [seed].  [main] takes no parameters and
+    returns an [I64] mixing live variables with a checksum sweep over the
+    shared globals, so memory effects surface in the return value too. *)

@@ -1,0 +1,91 @@
+(** Differential oracle: one TIR program, every backend, every check.
+
+    For each program the oracle runs the AST interpreter as the reference,
+    then cross-checks, per compilation preset: compiler self-verification
+    and translation validation ([Driver.compile ~verify ~validate]), strict
+    lint of the compiled blocks, the EDGE functional executor's result and
+    memory image, the cycle simulator's result and memory image, and the
+    static timing analyzer's sanity corridor (the estimate must stay
+    within a documented factor of simulated cycles; see [timing_slack] for
+    why a strict lower bound does not hold).  Independently it checks the
+    lowered-CFG
+    interpreter and the RISC backend against the same reference.
+
+    The memory comparison is {!Trips_tir.Image.checksum}, which covers the
+    program-data region only (below the scratch/stack area), so backend
+    scratch usage does not produce false diffs. *)
+
+type inject = Geni_bump | Imm_bump
+(** Compiler-bug injection, applied to the compiled EDGE program after the
+    (clean) pipeline ran: bump the first [Geni] constant, or the first
+    instruction immediate — the PR 6 transval-mutation style, here caught
+    by the execution diff. *)
+
+val inject_to_string : inject -> string
+val inject_of_string : string -> inject option
+
+type failure = {
+  f_check : string;
+      (** "compile" | "verify" | "lint" | "exec" | "mem" | "sim" | "sim-mem"
+          | "timing" | "cfg" | "cfg-mem" | "risc" | "risc-mem" *)
+  f_config : string;  (** preset name, "RISC", or "" for preset-independent *)
+  f_detail : string;
+}
+
+type verdict =
+  | Pass
+  | Invalid of string  (** reference itself trapped / ran out of fuel *)
+  | Fail of failure list
+
+type t = {
+  presets : Trips_compiler.Driver.preset list;
+  check_verify : bool;
+  check_lint : bool;
+  check_transval : bool;
+  check_sim : bool;
+  check_risc : bool;
+  check_cfg : bool;
+  inject : inject option;
+  timing_predict : (Trips_edge.Block.program -> Trips_tir.Image.t -> int) option;
+  timing_slack : float;
+      (** the static estimate must stay within
+          [timing_slack * simulated + timing_margin] cycles.  It is {e not}
+          a strict lower bound: the model composes per-block critical paths
+          serially while the simulator overlaps blocks in flight, so
+          predication-heavy random programs overshoot by over 2x
+          (worst observed ~2.3x over 500 seeds; default slack 4.0). *)
+  timing_margin : int;  (** absolute headroom, swamps tiny programs (1000) *)
+  fuel : int;
+}
+
+val all_presets : Trips_compiler.Driver.preset list
+(** O0, C, H, BB. *)
+
+val make :
+  ?presets:Trips_compiler.Driver.preset list ->
+  ?check_verify:bool ->
+  ?check_lint:bool ->
+  ?check_transval:bool ->
+  ?check_sim:bool ->
+  ?check_risc:bool ->
+  ?check_cfg:bool ->
+  ?inject:inject ->
+  ?timing_predict:(Trips_edge.Block.program -> Trips_tir.Image.t -> int) ->
+  ?timing_slack:float ->
+  ?timing_margin:int ->
+  ?fuel:int ->
+  unit ->
+  t
+(** Everything on by default except [timing_predict], which lives in
+    {!Trips_harness} (dependency layering) and is injected by callers. *)
+
+val apply_inject : inject -> Trips_edge.Block.program -> Trips_edge.Block.program
+
+val run : t -> Trips_tir.Ast.program -> verdict
+
+val focus : t -> failure -> t
+(** Restrict to the cheapest configuration that can still detect [failure];
+    the shrinker evaluates candidates under this. *)
+
+val fails_like : t -> failure -> Trips_tir.Ast.program -> bool
+(** Does [run] report some failure with the same [f_check]? *)

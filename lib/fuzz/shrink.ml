@@ -1,0 +1,235 @@
+module Ast = Trips_tir.Ast
+
+(* Candidate enumeration is purely structural and RNG-free, and the greedy
+   loop always applies the first acceptable candidate, so shrinking is
+   deterministic.  Every candidate is filtered through Typecheck.check and
+   a strict size decrease before the (expensive) oracle re-run, so the
+   published invariants — well-typedness preserved, size strictly
+   decreasing — hold by construction. *)
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let rec drop n = function
+  | l when n = 0 -> l
+  | [] -> []
+  | _ :: tl -> drop (n - 1) tl
+
+let splice l i repl = take i l @ repl @ drop (i + 1) l
+
+(* ddmin-style: remove aligned chunks of size n, n/2, ..., 1 (large first). *)
+let chunk_removals (b : 'a list) : 'a list Seq.t =
+  let n = List.length b in
+  let rec szs s acc = if s < 1 then acc else szs (s / 2) (s :: acc) in
+  let sizes = if n = 0 then [] else List.rev (szs n []) in
+  List.to_seq sizes
+  |> Seq.concat_map (fun size ->
+         let rec starts k () =
+           if k >= n then Seq.Nil
+           else Seq.Cons (take k b @ drop (k + size) b, starts (k + size))
+         in
+         starts 0)
+
+let subexprs (e : Ast.expr) =
+  match e with
+  | Int _ | Flt _ | Var _ | Glo _ -> []
+  | Bin (_, a, b) -> [ a; b ]
+  | Un (_, a) | Load (_, _, a) -> [ a ]
+  | Call (_, args) -> args
+
+let rec expr_rewrites (e : Ast.expr) : Ast.expr Seq.t =
+  let whole =
+    let consts =
+      if Typecheck.size_expr e > 1 then [ Ast.Int 0L; Ast.Int 1L; Ast.Flt 0. ]
+      else []
+    in
+    List.to_seq (subexprs e @ consts)
+  in
+  let inner =
+    match e with
+    | Ast.Bin (op, a, b) ->
+      Seq.append
+        (Seq.map (fun a' -> Ast.Bin (op, a', b)) (expr_rewrites a))
+        (Seq.map (fun b' -> Ast.Bin (op, a, b')) (expr_rewrites b))
+    | Ast.Un (op, a) -> Seq.map (fun a' -> Ast.Un (op, a')) (expr_rewrites a)
+    | Ast.Load (t, w, a) ->
+      Seq.map (fun a' -> Ast.Load (t, w, a')) (expr_rewrites a)
+    | Ast.Call (f, args) ->
+      List.to_seq (List.mapi (fun i a -> (i, a)) args)
+      |> Seq.concat_map (fun (i, a) ->
+             Seq.map
+               (fun a' -> Ast.Call (f, splice args i [ a' ]))
+               (expr_rewrites a))
+    | _ -> Seq.empty
+  in
+  Seq.append whole inner
+
+let rec stmt_rewrites (s : Ast.stmt) : Ast.stmt list Seq.t =
+  match s with
+  | Ast.Let (x, e) ->
+    Seq.map (fun e' -> [ Ast.Let (x, e') ]) (expr_rewrites e)
+  | Ast.Store (w, a, v) ->
+    Seq.append
+      (Seq.map (fun a' -> [ Ast.Store (w, a', v) ]) (expr_rewrites a))
+      (Seq.map (fun v' -> [ Ast.Store (w, a, v') ]) (expr_rewrites v))
+  | Ast.Expr e -> Seq.map (fun e' -> [ Ast.Expr e' ]) (expr_rewrites e)
+  | Ast.Return (Some e) ->
+    Seq.map (fun e' -> [ Ast.Return (Some e') ]) (expr_rewrites e)
+  | Ast.Return None -> Seq.empty
+  | Ast.If (c, t, e) ->
+    Seq.append
+      (List.to_seq [ t; e ]) (* unwrap to either branch *)
+      (Seq.concat
+         (List.to_seq
+            [
+              Seq.map (fun c' -> [ Ast.If (c', t, e) ]) (expr_rewrites c);
+              Seq.map (fun t' -> [ Ast.If (c, t', e) ]) (body_rewrites t);
+              Seq.map (fun e' -> [ Ast.If (c, t, e') ]) (body_rewrites e);
+            ]))
+  | Ast.While (c, b) ->
+    Seq.cons b  (* unwrap: run the body once *)
+      (Seq.append
+         (Seq.map (fun c' -> [ Ast.While (c', b) ]) (expr_rewrites c))
+         (Seq.map (fun b' -> [ Ast.While (c, b') ]) (body_rewrites b)))
+  | Ast.For (x, lo, hi, step, b) ->
+    Seq.cons
+      (Ast.Let (x, lo) :: b)  (* unwrap: bind the loop var, run once *)
+      (Seq.concat
+         (List.to_seq
+            [
+              Seq.map (fun lo' -> [ Ast.For (x, lo', hi, step, b) ]) (expr_rewrites lo);
+              Seq.map (fun hi' -> [ Ast.For (x, lo, hi', step, b) ]) (expr_rewrites hi);
+              Seq.map (fun b' -> [ Ast.For (x, lo, hi, step, b') ]) (body_rewrites b);
+            ]))
+
+and body_rewrites (b : Ast.stmt list) : Ast.stmt list Seq.t =
+  Seq.append (chunk_removals b)
+    (List.to_seq (List.mapi (fun i s -> (i, s)) b)
+    |> Seq.concat_map (fun (i, s) ->
+           Seq.map (fun repl -> splice b i repl) (stmt_rewrites s)))
+
+let candidates (p : Ast.program) : Ast.program Seq.t =
+  let drop_funcs =
+    List.to_seq p.funcs
+    |> Seq.filter_map (fun (f : Ast.func) ->
+           if f.fname = "main" then None
+           else
+             Some
+               {
+                 p with
+                 funcs = List.filter (fun (g : Ast.func) -> g != f) p.funcs;
+               })
+  in
+  let drop_globals =
+    List.to_seq p.globals
+    |> Seq.map (fun (g : Ast.global) ->
+           { p with globals = List.filter (fun h -> h != g) p.globals })
+  in
+  let strip_inits =
+    List.to_seq p.globals
+    |> Seq.filter_map (fun (g : Ast.global) ->
+           match g.init with
+           | None -> None
+           | Some _ ->
+             Some
+               {
+                 p with
+                 globals =
+                   List.map
+                     (fun (h : Ast.global) ->
+                       if h == g then { h with init = None } else h)
+                     p.globals;
+               })
+  in
+  let body_edits =
+    List.to_seq p.funcs
+    |> Seq.concat_map (fun (f : Ast.func) ->
+           Seq.map
+             (fun body' ->
+               {
+                 p with
+                 funcs =
+                   List.map
+                     (fun (g : Ast.func) ->
+                       if g == f then { g with body = body' } else g)
+                     p.funcs;
+               })
+             (body_rewrites f.body))
+  in
+  Seq.concat (List.to_seq [ drop_funcs; drop_globals; strip_inits; body_edits ])
+
+type result = {
+  sh_program : Ast.program;
+  sh_size : int;
+  sh_orig_size : int;
+  sh_steps : int;  (* accepted rewrites *)
+  sh_evals : int;  (* oracle evaluations spent *)
+  sh_log : string list;  (* one line per accepted step, oldest first *)
+}
+
+(* Interpreter work of [p] (sum of operation counts), or None on trap /
+   fuel exhaustion. *)
+let interp_work ~fuel (p : Ast.program) : int option =
+  match
+    let img = Trips_tir.Image.build p.Ast.globals in
+    Trips_tir.Interp.run_ast ~fuel p img "main" []
+  with
+  | r ->
+    let c = r.Trips_tir.Interp.counts in
+    Some
+      Trips_tir.Interp.(c.ops + c.loads + c.stores + c.branches + c.calls)
+  | exception _ -> None
+
+let shrink ?(max_evals = 4000) (oracle : Oracle.t) (failure : Oracle.failure)
+    (p0 : Ast.program) : result =
+  let focused = Oracle.focus oracle failure in
+  (* Fall back to the full oracle if focusing lost the failure. *)
+  let t = if Oracle.fails_like focused failure p0 then focused else oracle in
+  (* Candidate fuel tracks the current program's measured interpreter
+     work, so a rewrite that breaks loop termination (e.g. a dropped
+     decrement) is rejected in milliseconds instead of burning the whole
+     fuel budget.  8x headroom covers the fuel/counts gap: fuel burns per
+     AST node visited, counts per operation. *)
+  let tune_fuel t p =
+    match interp_work ~fuel:t.Oracle.fuel p with
+    | Some w -> { t with Oracle.fuel = min t.Oracle.fuel ((8 * w) + 50_000) }
+    | None -> t
+  in
+  let t = ref (tune_fuel t p0) in
+  let evals = ref 0 and steps = ref 0 and log = ref [] in
+  let orig_size = Typecheck.size_program p0 in
+  let cur = ref p0 and cur_size = ref orig_size in
+  let accept p' =
+    Typecheck.check p' = Ok ()
+    && Typecheck.size_program p' < !cur_size
+    && !evals < max_evals
+    && begin
+         incr evals;
+         Oracle.fails_like !t failure p'
+       end
+  in
+  let improved = ref true in
+  while !improved && !evals < max_evals do
+    improved := false;
+    match Seq.find accept (candidates !cur) with
+    | Some p' ->
+      let size' = Typecheck.size_program p' in
+      incr steps;
+      log :=
+        Printf.sprintf "step %d: size %d -> %d" !steps !cur_size size' :: !log;
+      cur := p';
+      cur_size := size';
+      t := tune_fuel !t p';
+      improved := true
+    | None -> ()
+  done;
+  {
+    sh_program = !cur;
+    sh_size = !cur_size;
+    sh_orig_size = orig_size;
+    sh_steps = !steps;
+    sh_evals = !evals;
+    sh_log = List.rev !log;
+  }

@@ -1,0 +1,33 @@
+(** Delta-debugging shrinker for failing TIR programs.
+
+    Greedy descent: enumerate structural candidates (drop helper functions,
+    drop globals, strip initializers, ddmin-style removal of aligned
+    statement chunks at every nesting level, unwrap [If]/[While]/[For] into
+    their bodies, replace expressions by subexpressions or constants), and
+    apply the first candidate that (a) still typechecks, (b) is strictly
+    smaller under {!Typecheck.size_program}, and (c) still fails the oracle
+    with the original failure's check kind — evaluated under
+    {!Oracle.focus} so candidate runs stay cheap.  Enumeration is RNG-free,
+    so shrinking is deterministic. *)
+
+type result = {
+  sh_program : Trips_tir.Ast.program;  (** the minimized program *)
+  sh_size : int;
+  sh_orig_size : int;
+  sh_steps : int;  (** accepted rewrites *)
+  sh_evals : int;  (** oracle evaluations spent *)
+  sh_log : string list;  (** one line per accepted step, oldest first *)
+}
+
+val candidates : Trips_tir.Ast.program -> Trips_tir.Ast.program Seq.t
+(** One rewrite step's candidate programs, most aggressive first.  Exposed
+    for the shrinker property tests. *)
+
+val shrink :
+  ?max_evals:int ->
+  Oracle.t ->
+  Oracle.failure ->
+  Trips_tir.Ast.program ->
+  result
+(** [shrink oracle failure p] minimizes [p] while it keeps failing like
+    [failure].  [max_evals] (default 4000) bounds oracle re-runs. *)

@@ -7,7 +7,7 @@ type experiment = {
   title : string;
   paper_claim : string;
   run : unit -> Trips_util.Table.t;
-  cache_key : string;
+  cache_key : string option;
   warm : (unit -> unit) list;
 }
 
@@ -81,8 +81,15 @@ let warm_speedup b =
     w_trips Platforms.C b; w_trips Platforms.H b;
   ]
 
-let experiment ~id ~title ~claim ~warm run =
-  { id; title; paper_claim = claim; run; cache_key = cache_key_of id; warm }
+let experiment ?(cache = true) ~id ~title ~claim ~warm run =
+  {
+    id;
+    title;
+    paper_claim = claim;
+    run;
+    cache_key = (if cache then Some (cache_key_of id) else None);
+    warm;
+  }
 
 let all =
   [
@@ -221,13 +228,21 @@ let all =
              @ [ (fun () -> ignore (Transval_xv.validate_risc b)) ])
            Registry.all)
       Transval_xv.crossval;
+    experiment ~cache:false ~id:"fuzz"
+      ~title:"Differential fuzzing sweep"
+      ~claim:
+        "Seeded random TIR programs agree across the AST interpreter, all \
+         four compilation presets (verified, validated, lint-clean, with \
+         static timing a lower bound on simulated cycles), the CFG \
+         interpreter and the RISC backend: zero divergences"
+      ~warm:(Fuzz_xv.warm ()) Fuzz_xv.crossval;
   ]
 
 let find id = List.find (fun e -> e.id = id) all
 let find_opt id = List.find_opt (fun e -> e.id = id) all
 
 let to_job ?(timeout_s = 900.) ?(retries = 1) e =
-  Trips_engine.Engine.job ~id:e.id ~cache_key:e.cache_key ~warm:e.warm
+  Trips_engine.Engine.job ~id:e.id ?cache_key:e.cache_key ~warm:e.warm
     ~timeout_s ~retries e.run
 
 let meta e =

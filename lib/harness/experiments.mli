@@ -14,7 +14,8 @@ type experiment = {
   title : string;
   paper_claim : string;      (* the qualitative shape the paper reports *)
   run : unit -> Trips_util.Table.t;
-  cache_key : string;        (* content identity for the result cache *)
+  cache_key : string option; (* content identity for the result cache;
+                                [None] = never cached (e.g. fuzzing) *)
   warm : (unit -> unit) list; (* independent per-benchmark sub-jobs *)
 }
 

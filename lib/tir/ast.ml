@@ -115,6 +115,32 @@ let pp_func ppf f =
     (match f.ret with None -> "" | Some t -> " : " ^ Ty.to_string t)
     pp_body f.body
 
+let pp_global ppf g =
+  let pp_init ppf = function
+    | None -> ()
+    | Some cells ->
+      Format.fprintf ppf " = {";
+      Array.iteri
+        (fun i (w, v) ->
+          if i > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf "w%d:%Ld" (Ty.bytes_of_width w) v)
+        cells;
+      Format.fprintf ppf "}"
+  in
+  Format.fprintf ppf "global %s[%d] align %d%a" g.gname g.size g.align pp_init
+    g.init
+
+let pp ppf p =
+  let pp_sep ppf () = Format.fprintf ppf "@,@," in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun g -> Format.fprintf ppf "%a@,@," pp_global g) p.globals;
+  Format.pp_print_list ~pp_sep pp_func ppf p.funcs;
+  Format.fprintf ppf "@]"
+
+let pp_program = pp
+
+let to_string p = Format.asprintf "%a@." pp p
+
 module Infix = struct
   let i n = Int (Int64.of_int n)
   let i64 n = Int n

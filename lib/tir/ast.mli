@@ -72,6 +72,17 @@ val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
 val pp_func : Format.formatter -> func -> unit
 
+val pp_global : Format.formatter -> global -> unit
+
+val pp : Format.formatter -> program -> unit
+(** Stable, parse-free textual form of a whole program (globals then
+    functions).  Used for fuzz corpus entries and shrinker logs. *)
+
+val pp_program : Format.formatter -> program -> unit
+(** Alias of {!pp}. *)
+
+val to_string : program -> string
+
 (** Infix/constructor helpers used throughout the workload suite. *)
 module Infix : sig
   val i : int -> expr                     (* integer literal *)

@@ -130,4 +130,12 @@ let pp_func ppf f =
 let pp_program ppf p =
   Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_func ppf p.funcs
 
+let pp ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun g -> Format.fprintf ppf "%a@," Ast.pp_global g) p.globals;
+  pp_program ppf p;
+  Format.fprintf ppf "@]"
+
+let to_string p = Format.asprintf "%a@." pp p
+
 let ins_count f = List.fold_left (fun acc b -> acc + List.length b.ins) 0 f.blocks

@@ -61,5 +61,11 @@ val pp_term : Format.formatter -> term -> unit
 val pp_func : Format.formatter -> func -> unit
 val pp_program : Format.formatter -> program -> unit
 
+val pp : Format.formatter -> program -> unit
+(** Stable, parse-free textual form including globals; counterpart of
+    {!Ast.pp} for the lowered program. *)
+
+val to_string : program -> string
+
 val ins_count : func -> int
 (** Static instruction count (excluding terminators). *)
