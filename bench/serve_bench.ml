@@ -45,7 +45,7 @@ let rec rm_rf path =
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
 let spec verb bench preset =
-  match Service.make ~verb ~bench ~preset with
+  match Service.make ~mode:"" ~verb ~bench ~preset with
   | Result.Ok r ->
     {
       Load.s_path = Protocol.api_prefix ^ verb;

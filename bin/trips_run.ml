@@ -15,6 +15,9 @@ module Ast = Trips_tir.Ast
 module Ty = Trips_tir.Ty
 module Exec = Trips_edge.Exec
 module Core = Trips_sim.Core
+module Specialize = Trips_sim.Specialize
+module Sampled = Trips_sim.Sampled
+module Plan_cache = Trips_sim.Plan_cache
 open Trips_harness
 
 let quality_of = function
@@ -56,9 +59,20 @@ let sim_arg =
     value
     & opt string "cycle"
     & info [ "sim" ] ~docv:"SIM"
-        ~doc:"One of: functional, cycle, ideal, risc, core2, p4, p3.")
+        ~doc:
+          "One of: functional, cycle, spec, sampled, ideal, risc, core2, p4, \
+           p3.")
 
-let run_bench name preset sim =
+let plan_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-cache" ] ~docv:"DIR"
+        ~doc:
+          "On-disk compiled-plan cache directory for the specialized engine \
+           (sim spec/sampled).")
+
+let run_bench name preset sim plan_cache =
   let b = Registry.find name in
   let q = quality_of preset in
   let golden, _ = Registry.golden b in
@@ -75,8 +89,17 @@ let run_bench name preset sim =
       s.Exec.blocks s.Exec.fetched s.Exec.executed s.Exec.useful s.Exec.k_move;
     Printf.printf "avg block size: %.1f\n"
       (Trips_util.Stats.ratio s.Exec.fetched s.Exec.blocks)
-  | "cycle" ->
-    let r = Platforms.trips q b in
+  | "cycle" | "spec" ->
+    let r, rep =
+      if sim = "cycle" then (Platforms.trips q b, None)
+      else begin
+        let prog = Platforms.edge_program q b in
+        let image = Image.build b.Registry.program.Ast.globals in
+        let cache = Option.map (fun dir -> Plan_cache.create ~dir ()) plan_cache in
+        let r, rep = Specialize.run_report ?cache prog image ~entry:"main" ~args:[] in
+        (r, Some rep)
+      end
+    in
     show_ret r.Core.ret;
     Printf.printf
       "cycles: %d  IPC: %.2f (useful %.2f)  window: %.0f  avg hops: %.2f\n"
@@ -86,7 +109,32 @@ let run_bench name preset sim =
       "branch mispredicts: %d  call/ret: %d  I$ misses: %d  D$ misses: %d  load flushes: %d\n"
       r.Core.timing.Core.branch_mispredicts r.Core.timing.Core.callret_mispredicts
       r.Core.timing.Core.icache_misses r.Core.timing.Core.dcache_misses
-      r.Core.timing.Core.load_flushes
+      r.Core.timing.Core.load_flushes;
+    Option.iter
+      (fun (rep : Specialize.report) ->
+        Printf.printf
+          "spec: compiled=%d derived=%d cache_hits_mem=%d cache_hits_disk=%d \
+           interpreted=%d\n"
+          rep.Specialize.rp_blocks_compiled rep.Specialize.rp_tables_derived
+          rep.Specialize.rp_cache_hits_mem rep.Specialize.rp_cache_hits_disk
+          rep.Specialize.rp_interpreted)
+      rep
+  | "sampled" ->
+    let prog = Platforms.edge_program q b in
+    let image = Image.build b.Registry.program.Ast.globals in
+    let cache = Option.map (fun dir -> Plan_cache.create ~dir ()) plan_cache in
+    let r, est = Sampled.run ?cache prog image ~entry:"main" ~args:[] in
+    show_ret r.Core.ret;
+    if est.Sampled.es_full then
+      Printf.printf "cycles: %.0f (exact: run too short to sample)\n"
+        est.Sampled.es_cycles
+    else
+      Printf.printf
+        "cycles: %.0f +/- %.0f (95%% CI)  intervals: %d  measured %d of %d \
+         blocks  cpb %.2f +/- %.3f\n"
+        est.Sampled.es_cycles est.Sampled.es_ci95 est.Sampled.es_intervals
+        est.Sampled.es_measured_blocks est.Sampled.es_total_blocks
+        est.Sampled.es_cpb_mean est.Sampled.es_cpb_stddev
   | "ideal" ->
     let r = Platforms.ideal Trips_limit.Ideal.trips_window ~tag:"1k" q b in
     show_ret r.Trips_limit.Ideal.ret;
@@ -114,7 +162,17 @@ let run_bench name preset sim =
 
 let run_cmd =
   let doc = "Run one benchmark on one modeled platform." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_bench $ bench_arg $ preset_arg $ sim_arg)
+  let main name preset sim plan_cache =
+    try
+      run_bench name preset sim plan_cache;
+      `Ok ()
+    with
+    | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+    | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret (const main $ bench_arg $ preset_arg $ sim_arg $ plan_cache_arg))
 
 (* -- exp -------------------------------------------------------------- *)
 
@@ -594,6 +652,111 @@ let timing_cmd =
         (const timing_main $ benches $ all $ simple $ preset $ format $ top
         $ xval $ strict $ out))
 
+(* -- sampling --------------------------------------------------------- *)
+
+let sampling_main benches all preset format out =
+  try
+    let q = quality_of preset in
+    let benches =
+      if all || benches = [] then Registry.all
+      else List.map Registry.find benches
+    in
+    let rs = Sampling_xv.rows ~quality:q benches in
+    let within = Sampling_xv.within_of rs in
+    let mean_err = Sampling_xv.mean_abs_error_of rs in
+    let row_json (r : Sampling_xv.row) =
+      Json.Obj
+        [
+          ("bench", Json.Str r.Sampling_xv.sx_bench);
+          ("actual", Json.Int r.Sampling_xv.sx_actual);
+          ("estimate", Json.Float r.Sampling_xv.sx_estimate);
+          ("ci95", Json.Float r.Sampling_xv.sx_ci95);
+          ("error_pct", Json.Float r.Sampling_xv.sx_error_pct);
+          ("intervals", Json.Int r.Sampling_xv.sx_intervals);
+          ("full", Json.Bool r.Sampling_xv.sx_full);
+          ("within_ci", Json.Bool r.Sampling_xv.sx_within);
+        ]
+    in
+    let report_json =
+      Json.Obj
+        [
+          ("preset", Json.Str (Platforms.quality_tag q));
+          ("rows", Json.List (List.map row_json rs));
+          ( "summary",
+            Json.Obj
+              [
+                ("workloads", Json.Int (List.length rs));
+                ("within_ci", Json.Int within);
+                ("mean_abs_error_pct", Json.Float mean_err);
+              ] );
+        ]
+    in
+    (match format with
+    | "txt" ->
+      Trips_util.Table.print (Sampling_xv.table_of rs);
+      Printf.printf
+        "sampling accuracy: %d program(s), %d within CI, mean |error| %.2f%%\n"
+        (List.length rs) within mean_err
+    | "json" -> print_string (Json.to_string report_json)
+    | f -> invalid_arg ("unknown format " ^ f ^ " (txt|json)"));
+    (match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string report_json);
+      close_out oc;
+      Printf.eprintf "sampling report: %s\n" file
+    | None -> ());
+    `Ok ()
+  with
+  | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+  | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
+
+let sampling_cmd =
+  let doc = "Cross-validate the sampled simulator's cycle estimates." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs every selected benchmark twice: once under the full \
+         detailed cycle simulator and once under the sampled simulator \
+         (exact execution, systematically sampled timing), then compares \
+         the sampled estimate and its 95% confidence interval with the \
+         exact cycle count.  The summary reports how many workloads fall \
+         inside their own interval and the mean absolute error.";
+    ]
+  in
+  let benches =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark to check (repeatable).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Check every registered benchmark (default).")
+  in
+  let preset =
+    Arg.(
+      value & opt string "C"
+      & info [ "preset" ] ~docv:"C|H" ~doc:"Code quality.")
+  in
+  let format =
+    Arg.(
+      value & opt string "txt"
+      & info [ "format" ] ~docv:"txt|json" ~doc:"Report rendering.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "sampling" ~doc ~man)
+    Term.(
+      ret (const sampling_main $ benches $ all $ preset $ format $ out))
+
 (* -- transval --------------------------------------------------------- *)
 
 module Transval = Trips_analysis.Transval
@@ -786,7 +949,8 @@ module Core_ref = Trips_sim.Core_ref
 
 (* One sequential cycle-simulator sweep over the registered workloads.
    Compilation and image building happen outside the timed region so the
-   clocks measure `Core.run` (or `Core_ref.run`) alone.  Both wall and
+   clocks measure the selected engine alone (`Core`, `Core_ref`, the
+   specialized `Specialize`, or the `Sampled` estimator).  Both wall and
    process CPU time are recorded: the shared machines this runs on carry
    unpredictable background load, so throughput gates use the CPU-time
    ratio, which that noise cancels out of. *)
@@ -811,20 +975,33 @@ let simbench_sweep ~use_ref q benches =
                 (Unix.gettimeofday () -. w0)
                 ((Gc.allocated_bytes () -. a0) /. 1e6))
         @@ fun () ->
-        if use_ref then begin
+        match use_ref with
+        | `Ref ->
           let r = Core_ref.run prog image ~entry:"main" ~args:[] in
           let t = r.Core_ref.timing in
           ( b.Registry.name, t.Core_ref.cycles, t.Core_ref.blocks,
             t.Core_ref.branch_mispredicts, t.Core_ref.callret_mispredicts,
             t.Core_ref.dcache_misses, t.Core_ref.load_flushes )
-        end
-        else begin
-          let r = Core.run prog image ~entry:"main" ~args:[] in
+        | `Core | `Spec ->
+          let r =
+            if use_ref = `Core then Core.run prog image ~entry:"main" ~args:[]
+            else Specialize.run prog image ~entry:"main" ~args:[]
+          in
           let t = r.Core.timing in
           ( b.Registry.name, t.Core.cycles, t.Core.blocks,
             t.Core.branch_mispredicts, t.Core.callret_mispredicts,
             t.Core.dcache_misses, t.Core.load_flushes )
-        end)
+        | `Sampled ->
+          (* the estimate replaces cycles; the remaining stats cover the
+             detailed stretches only, so the row is informational and is
+             never compared against the exact engines *)
+          let r, est = Sampled.run prog image ~entry:"main" ~args:[] in
+          let t = r.Core.timing in
+          ( b.Registry.name,
+            int_of_float est.Sampled.es_cycles,
+            r.Core.exec.Exec.blocks, t.Core.branch_mispredicts,
+            t.Core.callret_mispredicts, t.Core.dcache_misses,
+            t.Core.load_flushes ))
       jobs
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -835,7 +1012,7 @@ let simbench_main preset fixture out compare_ref =
   try
     let q = quality_of preset in
     let benches = Registry.all in
-    let rows, wall, cpu = simbench_sweep ~use_ref:false q benches in
+    let rows, wall, cpu = simbench_sweep ~use_ref:`Core q benches in
     let blocks = List.fold_left (fun a (_, _, b, _, _, _, _) -> a + b) 0 rows in
     let bps w = if w > 0. then float_of_int blocks /. w else 0. in
     Printf.printf
@@ -844,7 +1021,7 @@ let simbench_main preset fixture out compare_ref =
       (List.length rows) preset blocks wall cpu (bps cpu);
     let ref_times =
       if compare_ref then begin
-        let ref_rows, ref_wall, ref_cpu = simbench_sweep ~use_ref:true q benches in
+        let ref_rows, ref_wall, ref_cpu = simbench_sweep ~use_ref:`Ref q benches in
         if ref_rows <> rows then
           failwith "simbench: optimized and reference simulators disagree";
         Printf.printf
@@ -855,6 +1032,35 @@ let simbench_main preset fixture out compare_ref =
       end
       else None
     in
+    (* specialized engine: must reproduce the interpreter's rows exactly
+       (the bit-identity contract), timed for the speedup-vs-plan gate *)
+    let spec_rows, spec_wall, spec_cpu = simbench_sweep ~use_ref:`Spec q benches in
+    if spec_rows <> rows then
+      failwith "simbench: specialized and interpreted engines disagree";
+    Printf.printf
+      "simbench: specialized sweep %.2fs wall (%.2fs cpu), %.0f blocks/s — \
+       speedup x%.2f vs plan interpreter (stats identical)\n%!"
+      spec_wall spec_cpu (bps spec_cpu) (cpu /. spec_cpu);
+    (* sampled estimator: throughput plus estimate quality *)
+    let samp_rows, samp_wall, samp_cpu =
+      simbench_sweep ~use_ref:`Sampled q benches
+    in
+    let samp_err =
+      (* mean absolute estimate error vs the exact sweep, in percent *)
+      let tot, n =
+        List.fold_left2
+          (fun (tot, n) (_, est, _, _, _, _, _) (_, cy, _, _, _, _, _) ->
+            if cy > 0 then
+              (tot +. (abs_float (float_of_int (est - cy)) /. float_of_int cy), n + 1)
+            else (tot, n))
+          (0., 0) samp_rows rows
+      in
+      if n = 0 then 0. else 100. *. tot /. float_of_int n
+    in
+    Printf.printf
+      "simbench: sampled sweep %.2fs wall (%.2fs cpu), %.0f blocks/s — \
+       speedup x%.2f vs plan interpreter, mean |error| %.2f%%\n%!"
+      samp_wall samp_cpu (bps samp_cpu) (cpu /. samp_cpu) samp_err;
     (match fixture with
     | Some file ->
       let oc = open_out file in
@@ -898,6 +1104,17 @@ let simbench_main preset fixture out compare_ref =
                 ("speedup_vs_ref", Json.Float (rc /. cpu));
               ]
             | None -> [])
+          @ [
+              ("spec_wall_s", Json.Float spec_wall);
+              ("spec_cpu_s", Json.Float spec_cpu);
+              ("spec_blocks_per_s", Json.Float (bps spec_cpu));
+              ("speedup_vs_plan", Json.Float (cpu /. spec_cpu));
+              ("sampled_wall_s", Json.Float samp_wall);
+              ("sampled_cpu_s", Json.Float samp_cpu);
+              ("sampled_blocks_per_s", Json.Float (bps samp_cpu));
+              ("speedup_vs_plan_sampled", Json.Float (cpu /. samp_cpu));
+              ("sampled_mean_abs_error_pct", Json.Float samp_err);
+            ]
           @ [
               ( "per_workload",
                 Json.List
@@ -969,7 +1186,7 @@ let simbench_cmd =
 
 (* -- serve-client: talk to a running trips_serve daemon --------------- *)
 
-let serve_client_main host port what bench preset =
+let serve_client_main host port what bench preset mode =
   let module Client = Trips_serve.Client in
   let show = function
     | Result.Error msg -> `Error (false, "request failed: " ^ msg)
@@ -991,7 +1208,7 @@ let serve_client_main host port what bench preset =
     | None ->
       `Error (false, "verb '" ^ verb ^ "' needs a BENCH positional argument")
     | Some bench -> (
-      match Trips_harness.Service.make ~verb ~bench ~preset with
+      match Trips_harness.Service.make ~mode ~verb ~bench ~preset with
       | Result.Error msg -> `Error (false, msg)
       | Result.Ok r ->
         show
@@ -1040,9 +1257,17 @@ let serve_client_cmd =
       value & opt string "C"
       & info [ "preset" ] ~docv:"PRESET" ~doc:"Code-quality preset.")
   in
+  let mode =
+    Arg.(
+      value & opt string ""
+      & info [ "mode" ] ~docv:"detail|sampled"
+          ~doc:"Simulation engine for the simulate verb.")
+  in
   Cmd.v
     (Cmd.info "serve-client" ~doc ~man)
-    Term.(ret (const serve_client_main $ host $ port $ what $ bench $ preset))
+    Term.(
+      ret
+        (const serve_client_main $ host $ port $ what $ bench $ preset $ mode))
 
 (* -- fuzz ------------------------------------------------------------- *)
 
@@ -1342,4 +1567,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_term info
           [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd;
-            transval_cmd; simbench_cmd; fuzz_cmd; serve_client_cmd ]))
+            sampling_cmd; transval_cmd; simbench_cmd; fuzz_cmd;
+            serve_client_cmd ]))

@@ -67,14 +67,43 @@ dune exec bin/trips_run.exe -- simbench --preset C --compare-ref \
   --out simbench-report.json
 speedup=$(sed -n 's/.*"speedup_vs_ref": \([0-9.eE+-]*\).*/\1/p' simbench-report.json | tail -1)
 min_speedup=$(sed -n 's/.*"min_speedup_vs_ref": \([0-9.]*\).*/\1/p' bench/BENCH_sim.json)
-awk -v s="$speedup" -v ms="$min_speedup" 'BEGIN {
-  if (s == "") {
-    print "simbench: speedup_vs_ref missing from simbench-report.json" > "/dev/stderr"
+spec_speedup=$(sed -n 's/.*"speedup_vs_plan": \([0-9.eE+-]*\).*/\1/p' simbench-report.json | tail -1)
+min_spec=$(sed -n 's/.*"min_speedup_vs_plan": \([0-9.]*\).*/\1/p' bench/BENCH_sim.json)
+samp_speedup=$(sed -n 's/.*"speedup_vs_plan_sampled": \([0-9.eE+-]*\).*/\1/p' simbench-report.json | tail -1)
+min_samp=$(sed -n 's/.*"min_speedup_vs_plan_sampled": \([0-9.]*\).*/\1/p' bench/BENCH_sim.json)
+awk -v s="$speedup" -v ms="$min_speedup" \
+    -v sp="$spec_speedup" -v msp="$min_spec" \
+    -v sa="$samp_speedup" -v msa="$min_samp" 'BEGIN {
+  if (s == "" || sp == "" || sa == "") {
+    print "simbench: speedup fields missing from simbench-report.json" > "/dev/stderr"
     exit 1
   }
   printf "sim throughput: x%.2f vs reference (min x%.2f)\n", s, ms
-  if (s + 0 < ms + 0) {
+  printf "specialized engine: x%.2f vs plan interpreter (min x%.2f)\n", sp, msp
+  printf "sampled estimator: x%.2f vs plan interpreter (min x%.2f)\n", sa, msa
+  if (s + 0 < ms + 0 || sp + 0 < msp + 0 || sa + 0 < msa + 0) {
     print "sim throughput regressed past bench/BENCH_sim.json thresholds" > "/dev/stderr"
+    exit 1
+  }
+}'
+
+echo "== sampling accuracy: trips_run sampling --all --preset C =="
+dune exec bin/trips_run.exe -- sampling --all --preset C --format json \
+  --out sampling-report.json >/dev/null
+workloads=$(sed -n 's/.*"workloads": \([0-9][0-9]*\).*/\1/p' sampling-report.json | tail -1)
+within=$(sed -n 's/.*"within_ci": \([0-9][0-9]*\).*/\1/p' sampling-report.json | tail -1)
+samp_err=$(sed -n 's/.*"mean_abs_error_pct": \([0-9.eE+-]*\).*/\1/p' sampling-report.json | tail -1)
+min_within=$(sed -n 's/.*"min_sampled_within_ci": \([0-9]*\).*/\1/p' bench/BENCH_sim.json)
+max_samp_err=$(sed -n 's/.*"max_sampled_error_pct": \([0-9.]*\).*/\1/p' bench/BENCH_sim.json)
+awk -v n="$workloads" -v w="$within" -v e="$samp_err" \
+    -v mw="$min_within" -v me="$max_samp_err" 'BEGIN {
+  if (n == "" || w == "" || e == "") {
+    print "sampling: summary missing from sampling-report.json" > "/dev/stderr"
+    exit 1
+  }
+  printf "sampling accuracy: %d/%d within 95%% CI (min %d), mean |error| %.2f%% (max %.1f)\n", w, n, mw, e, me
+  if (w + 0 < mw + 0 || e + 0 > me + 0) {
+    print "sampling accuracy regressed past bench/BENCH_sim.json thresholds" > "/dev/stderr"
     exit 1
   }
 }'

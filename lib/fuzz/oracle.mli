@@ -43,6 +43,7 @@ type t = {
   check_lint : bool;
   check_transval : bool;
   check_sim : bool;
+  check_spec : bool;
   check_risc : bool;
   check_cfg : bool;
   inject : inject option;
@@ -67,6 +68,7 @@ val make :
   ?check_lint:bool ->
   ?check_transval:bool ->
   ?check_sim:bool ->
+  ?check_spec:bool ->
   ?check_risc:bool ->
   ?check_cfg:bool ->
   ?inject:inject ->

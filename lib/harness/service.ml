@@ -31,13 +31,20 @@ let verb_of_string s =
   | "transval" -> Some Transval_v
   | _ -> None
 
-type request = { verb : verb; bench : string; preset : string }
+type request = { verb : verb; bench : string; preset : string; mode : string }
 
 (* Pipeline verbs traverse one compiler preset; execution verbs run the
    modeled platform at one code-quality level. *)
 let presets_of_verb = function
   | Compile | Lint | Transval_v -> [ "O0"; "C"; "H"; "BB" ]
   | Timing | Simulate -> [ "C"; "H" ]
+
+(* Only simulation has a second engine: the sampled estimator (exact
+   execution, systematically sampled timing, confidence-interval cycle
+   estimate). *)
+let modes_of_verb = function
+  | Simulate -> [ "detail"; "sampled" ]
+  | Compile | Lint | Timing | Transval_v -> [ "detail" ]
 
 let canonical_preset verb p =
   let p =
@@ -48,7 +55,13 @@ let canonical_preset verb p =
   in
   if List.mem p (presets_of_verb verb) then Some p else None
 
-let make ~verb ~bench ~preset =
+let canonical_mode verb m =
+  let m =
+    match String.lowercase_ascii m with "" | "detailed" -> "detail" | l -> l
+  in
+  if List.mem m (modes_of_verb verb) then Some m else None
+
+let make ~mode ~verb ~bench ~preset =
   match verb_of_string verb with
   | None ->
     Result.Error
@@ -62,14 +75,24 @@ let make ~verb ~bench ~preset =
            (verb_name v)
            (String.concat ", " (presets_of_verb v)))
     | Some p -> (
-      match Registry.find bench with
-      | b -> Result.Ok { verb = v; bench = b.Registry.name; preset = p }
-      | exception Not_found ->
+      match canonical_mode v mode with
+      | None ->
         Result.Error
-          (Printf.sprintf "unknown benchmark %S (see `trips_run list`)" bench)
-      ))
+          (Printf.sprintf "unknown mode %S for verb %s (one of: %s)" mode
+             (verb_name v)
+             (String.concat ", " (modes_of_verb v)))
+      | Some m -> (
+        match Registry.find bench with
+        | b ->
+          Result.Ok { verb = v; bench = b.Registry.name; preset = p; mode = m }
+        | exception Not_found ->
+          Result.Error
+            (Printf.sprintf "unknown benchmark %S (see `trips_run list`)"
+               bench))))
 
-let id_of r = Printf.sprintf "%s/%s/%s" (verb_name r.verb) r.bench r.preset
+let id_of r =
+  Printf.sprintf "%s/%s/%s%s" (verb_name r.verb) r.bench r.preset
+    (if r.mode = "detail" then "" else "/" ^ r.mode)
 
 (* The same content identity the batch engine uses: any config or
    workload change invalidates every stored response. *)
@@ -82,6 +105,7 @@ let cache_key r =
         verb_name r.verb;
         r.bench;
         r.preset;
+        r.mode;
         Experiments.content_fingerprint ();
       ]
 
@@ -164,6 +188,23 @@ let run_timing r (b : Registry.bench) =
       ("findings", string_of_int (List.length p.Timing_xv.pr_diags));
     ]
 
+(* The sampled engine's response carries the estimate and its error
+   bound; exact functional statistics come from the same run. *)
+let run_simulate_sampled r (b : Registry.bench) =
+  let est = Sampling_xv.estimate (quality_of r.preset) b in
+  kv_table
+    [
+      ("estimated_cycles", Printf.sprintf "%.0f" est.Trips_sim.Sampled.es_cycles);
+      ("ci95", Printf.sprintf "%.0f" est.Trips_sim.Sampled.es_ci95);
+      ("intervals", string_of_int est.Trips_sim.Sampled.es_intervals);
+      ( "measured_blocks",
+        string_of_int est.Trips_sim.Sampled.es_measured_blocks );
+      ("total_blocks", string_of_int est.Trips_sim.Sampled.es_total_blocks);
+      ("cpb_mean", Table.fnum est.Trips_sim.Sampled.es_cpb_mean);
+      ("cpb_stddev", Table.fnum est.Trips_sim.Sampled.es_cpb_stddev);
+      ("full_detail", if est.Trips_sim.Sampled.es_full then "yes" else "no");
+    ]
+
 let run_simulate r (b : Registry.bench) =
   let res = Platforms.trips (quality_of r.preset) b in
   let t = res.Core.timing in
@@ -201,5 +242,6 @@ let run r =
   | Compile -> run_compile r b
   | Lint -> run_lint r b
   | Timing -> run_timing r b
-  | Simulate -> run_simulate r b
+  | Simulate ->
+    if r.mode = "sampled" then run_simulate_sampled r b else run_simulate r b
   | Transval_v -> run_transval r b

@@ -27,14 +27,21 @@ type request = private {
   verb : verb;
   bench : string;   (* registered benchmark name *)
   preset : string;  (* canonical: O0/C/H/BB (pipeline) or C/H (execution) *)
+  mode : string;    (* canonical: "detail", or "sampled" for simulate *)
 }
 
 val presets_of_verb : verb -> string list
 
+val modes_of_verb : verb -> string list
+(** Engine variants a verb accepts: ["detail"] everywhere, plus
+    ["sampled"] for [simulate] (exact execution, systematically sampled
+    timing, confidence-interval cycle estimate). *)
+
 val make :
+  mode:string ->
   verb:string -> bench:string -> preset:string -> (request, string) result
 (** Validate and canonicalize; the error string is client-presentable.
-    An empty [preset] defaults to ["C"]. *)
+    An empty [preset] defaults to ["C"]; an empty [mode] to ["detail"]. *)
 
 val id_of : request -> string
 (** Stable display id, e.g. ["timing/fft/C"]. *)

@@ -40,4 +40,8 @@ val predict : t -> block:int -> int option
 
 val update : t -> outcome -> unit
 
+val copy : t -> t
+(** Deep copy of all predictor state (exit tables, histories, target
+    predictor).  Used for simulation checkpoints. *)
+
 val storage_bits : config -> int

@@ -29,7 +29,7 @@ let route_of_path path =
 (* ------------------------------------------------------------------ *)
 
 (* [verb_token] comes from the URL; POST /api/v1/run carries the verb in
-   the body instead.  Body fields: verb? bench preset?. *)
+   the body instead.  Body fields: verb? bench preset? mode?. *)
 let parse_run_request ~verb_token body =
   match Json.parse body with
   | Result.Error e -> Result.Error e
@@ -48,7 +48,8 @@ let parse_run_request ~verb_token body =
       | None -> Result.Error "missing field \"bench\""
       | Some bench ->
         let preset = Option.value ~default:"" (Json.mem_str "preset" v) in
-        Service.make ~verb ~bench ~preset))
+        let mode = Option.value ~default:"" (Json.mem_str "mode" v) in
+        Service.make ~mode ~verb ~bench ~preset))
 
 let run_request_body (r : Service.request) =
   Json.to_string
@@ -57,6 +58,7 @@ let run_request_body (r : Service.request) =
          ("verb", Json.Str (Service.verb_name r.Service.verb));
          ("bench", Json.Str r.Service.bench);
          ("preset", Json.Str r.Service.preset);
+         ("mode", Json.Str r.Service.mode);
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -78,6 +80,7 @@ let result_body (r : Service.request) ~origin ~elapsed_s table =
          ("verb", Json.Str (Service.verb_name r.Service.verb));
          ("bench", Json.Str r.Service.bench);
          ("preset", Json.Str r.Service.preset);
+         ("mode", Json.Str r.Service.mode);
          ("origin", Json.Str origin);
          ("elapsed_s", Json.Float elapsed_s);
          ("result", table_json table);
@@ -108,6 +111,11 @@ let catalog_body () =
                           (List.map
                              (fun p -> Json.Str p)
                              (Service.presets_of_verb v)) );
+                      ( "modes",
+                        Json.List
+                          (List.map
+                             (fun m -> Json.Str m)
+                             (Service.modes_of_verb v)) );
                     ])
                 Service.verbs) );
          ( "benches",

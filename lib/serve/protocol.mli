@@ -6,7 +6,8 @@
     - [GET /api/v1/verbs] — catalog of verbs, presets and benchmarks.
     - [POST /api/v1/<verb>] with body [{"bench": "fft", "preset": "C"}] —
       run one request ([compile], [lint], [timing], [simulate],
-      [transval]).
+      [transval]).  [simulate] also accepts ["mode": "sampled"] for the
+      sampled estimator (exact execution, confidence-interval cycles).
     - [POST /api/v1/run] — same, with ["verb"] carried in the body.
 
     Success bodies are [{ok, verb, bench, preset, origin, elapsed_s,

@@ -103,6 +103,13 @@ let k_load = 1
 let k_store = 2
 let k_branch = 3
 
+(* Extension slot for engines layered on top of the interpreter: the
+   specializer ({!Trips_sim.Specialize}) attaches its compiled entry to
+   the plan it was derived from, so the hot path finds it without a side
+   table.  An open type keeps [Core] ignorant of what is attached. *)
+type ext = ..
+type ext += Ext_none
+
 type plan = {
   p_label : string;
   mutable p_id : int;                (* interned label id; -1 until first use *)
@@ -143,6 +150,7 @@ type plan = {
   p_vlen : int array;
   p_paths : int array;
   p_obs : block_obs;                 (* measured profile, updated in place *)
+  mutable p_ext : ext;               (* engine extension (specializer) *)
 }
 
 (* Reusable per-instance scratch state, sized once for the largest block
@@ -315,12 +323,12 @@ let queue_pop sc =
 
 type sim = {
   cfg : config;
-  pred : Blockpred.t;
-  dep : Depend.t;
+  mutable pred : Blockpred.t;
+  mutable dep : Depend.t;
   opn : Opn.t;
-  l1d : Cache.t;
-  l1i : Cache.t;
-  l2 : Cache.t;
+  mutable l1d : Cache.t;
+  mutable l1i : Cache.t;
+  mutable l2 : Cache.t;
   mutable dram_free_at : int;
   st : stats;
   (* static timing plans, one per block label (address, interned id and
@@ -556,6 +564,7 @@ let build_plan (cfg : config) (b : Block.t) ~addr : plan =
     p_vlen = of_rev_list !vlen;
     p_paths = of_rev_list !paths;
     p_obs = { bo_instances = 0; bo_latency = 0; bo_residency = 0 };
+    p_ext = Ext_none;
   }
 
 let dram_latency s ~now =
@@ -603,6 +612,94 @@ type btime = {
   bt_done : int;              (* all outputs produced *)
   bt_flushed : bool;
 }
+
+(* The end-of-instance protocol shared by every dataflow timer: the
+   store-load violation sweep over the instance's memory events, the
+   load-wait learning, and the completion/flush arithmetic.  [resolve]
+   is the branch-resolution time accumulated during the drain. *)
+let finish_instance s (cfg : config) ~resolve : btime =
+  let sc = s.scratch in
+  (* store-load violations: a load that accessed the DT before an earlier
+     (lower-LSID) overlapping store arrived.  LSID-sorted interval scan:
+     loads walk in LSID order against the prefix of lower-LSID stores,
+     skipped entirely while the prefix's max arrival cannot exceed the
+     load's *)
+  let flushed = ref false in
+  let nl = ref 0 and ns = ref 0 in
+  for k = 0 to sc.m_cnt - 1 do
+    if Array.unsafe_get sc.m_load k then begin
+      Array.unsafe_set sc.v_load !nl k;
+      incr nl
+    end
+    else if not (Array.unsafe_get sc.m_null k) then begin
+      Array.unsafe_set sc.v_store !ns k;
+      incr ns
+    end
+  done;
+  let m_lsid = sc.m_lsid and m_time = sc.m_time in
+  let sort_by_lsid arr len =
+    for a = 1 to len - 1 do
+      let x = Array.unsafe_get arr a in
+      let lx = Array.unsafe_get m_lsid x in
+      let b = ref (a - 1) in
+      while !b >= 0 && Array.unsafe_get m_lsid (Array.unsafe_get arr !b) > lx do
+        Array.unsafe_set arr (!b + 1) (Array.unsafe_get arr !b);
+        decr b
+      done;
+      Array.unsafe_set arr (!b + 1) x
+    done
+  in
+  sort_by_lsid sc.v_load !nl;
+  sort_by_lsid sc.v_store !ns;
+  let sp = ref 0 and smax = ref min_int in
+  for a = 0 to !nl - 1 do
+    let li = Array.unsafe_get sc.v_load a in
+    let lsid = Array.unsafe_get m_lsid li in
+    while
+      !sp < !ns && Array.unsafe_get m_lsid (Array.unsafe_get sc.v_store !sp) < lsid
+    do
+      let t = Array.unsafe_get m_time (Array.unsafe_get sc.v_store !sp) in
+      if t > !smax then smax := t;
+      incr sp
+    done;
+    let lt = Array.unsafe_get m_time li in
+    if !smax > lt then begin
+      (* some lower-LSID store arrived later: scan the prefix for overlap *)
+      let laddr = Array.unsafe_get sc.m_addr li in
+      let lwidth = Array.unsafe_get sc.m_width li in
+      let hit = ref false in
+      let b = ref 0 in
+      while (not !hit) && !b < !sp do
+        let si = Array.unsafe_get sc.v_store !b in
+        if
+          Array.unsafe_get m_time si > lt
+          && Array.unsafe_get sc.m_addr si < laddr + lwidth
+          && laddr < Array.unsafe_get sc.m_addr si + Array.unsafe_get sc.m_width si
+        then hit := true;
+        incr b
+      done;
+      if !hit then begin
+        flushed := true;
+        (* learn: next time this load waits *)
+        Depend.record_violation s.dep ~load_id:(Array.unsafe_get sc.m_viol li)
+      end
+    end
+  done;
+  if !flushed then s.st.load_flushes <- s.st.load_flushes + 1;
+  let all_done = ref resolve in
+  for k = 0 to sc.m_cnt - 1 do
+    let t = Array.unsafe_get m_time k in
+    if t > !all_done then all_done := t
+  done;
+  for k = 0 to sc.w_cnt - 1 do
+    if sc.w_time.(k) > !all_done then all_done := sc.w_time.(k)
+  done;
+  let all_done = if !flushed then !all_done + cfg.flush_penalty else !all_done in
+  {
+    bt_resolve = imax resolve (if !flushed then all_done else resolve);
+    bt_done = all_done;
+    bt_flushed = !flushed;
+  }
 
 let time_block s (cfg : config) (plan : plan) (inst : Exec.instance)
     ~dispatch_start : btime =
@@ -856,87 +953,7 @@ let time_block s (cfg : config) (plan : plan) (inst : Exec.instance)
       end
     end
   done;
-  (* store-load violations: a load that accessed the DT before an earlier
-     (lower-LSID) overlapping store arrived.  LSID-sorted interval scan:
-     loads walk in LSID order against the prefix of lower-LSID stores,
-     skipped entirely while the prefix's max arrival cannot exceed the
-     load's *)
-  let flushed = ref false in
-  let nl = ref 0 and ns = ref 0 in
-  for k = 0 to sc.m_cnt - 1 do
-    if Array.unsafe_get sc.m_load k then begin
-      Array.unsafe_set sc.v_load !nl k;
-      incr nl
-    end
-    else if not (Array.unsafe_get sc.m_null k) then begin
-      Array.unsafe_set sc.v_store !ns k;
-      incr ns
-    end
-  done;
-  let m_lsid = sc.m_lsid and m_time = sc.m_time in
-  let sort_by_lsid arr len =
-    for a = 1 to len - 1 do
-      let x = Array.unsafe_get arr a in
-      let lx = Array.unsafe_get m_lsid x in
-      let b = ref (a - 1) in
-      while !b >= 0 && Array.unsafe_get m_lsid (Array.unsafe_get arr !b) > lx do
-        Array.unsafe_set arr (!b + 1) (Array.unsafe_get arr !b);
-        decr b
-      done;
-      Array.unsafe_set arr (!b + 1) x
-    done
-  in
-  sort_by_lsid sc.v_load !nl;
-  sort_by_lsid sc.v_store !ns;
-  let sp = ref 0 and smax = ref min_int in
-  for a = 0 to !nl - 1 do
-    let li = Array.unsafe_get sc.v_load a in
-    let lsid = Array.unsafe_get m_lsid li in
-    while
-      !sp < !ns && Array.unsafe_get m_lsid (Array.unsafe_get sc.v_store !sp) < lsid
-    do
-      let t = Array.unsafe_get m_time (Array.unsafe_get sc.v_store !sp) in
-      if t > !smax then smax := t;
-      incr sp
-    done;
-    let lt = Array.unsafe_get m_time li in
-    if !smax > lt then begin
-      (* some lower-LSID store arrived later: scan the prefix for overlap *)
-      let laddr = Array.unsafe_get sc.m_addr li in
-      let lwidth = Array.unsafe_get sc.m_width li in
-      let hit = ref false in
-      let b = ref 0 in
-      while (not !hit) && !b < !sp do
-        let si = Array.unsafe_get sc.v_store !b in
-        if
-          Array.unsafe_get m_time si > lt
-          && Array.unsafe_get sc.m_addr si < laddr + lwidth
-          && laddr < Array.unsafe_get sc.m_addr si + Array.unsafe_get sc.m_width si
-        then hit := true;
-        incr b
-      done;
-      if !hit then begin
-        flushed := true;
-        (* learn: next time this load waits *)
-        Depend.record_violation s.dep ~load_id:(Array.unsafe_get sc.m_viol li)
-      end
-    end
-  done;
-  if !flushed then s.st.load_flushes <- s.st.load_flushes + 1;
-  let all_done = ref !resolve in
-  for k = 0 to sc.m_cnt - 1 do
-    let t = Array.unsafe_get m_time k in
-    if t > !all_done then all_done := t
-  done;
-  for k = 0 to sc.w_cnt - 1 do
-    if sc.w_time.(k) > !all_done then all_done := sc.w_time.(k)
-  done;
-  let all_done = if !flushed then !all_done + cfg.flush_penalty else !all_done in
-  {
-    bt_resolve = imax !resolve (if !flushed then all_done else !resolve);
-    bt_done = all_done;
-    bt_flushed = !flushed;
-  }
+  finish_instance s cfg ~resolve:!resolve
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program simulation                                            *)
@@ -950,7 +967,7 @@ let empty_stats () =
     l1d_bytes = 0; l2_bytes = 0; dram_bytes = 0;
   }
 
-let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args =
+let make_sim ?(config = prototype) (program : Block.program) =
   (* static planning: code layout plus one timing plan per block *)
   let plans : (string, plan) Hashtbl.t = Hashtbl.create 128 in
   let func_entry = Hashtbl.create 16 in
@@ -989,7 +1006,6 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
           Hashtbl.replace plans b.Block.label (build_plan config b ~addr))
         f.Block.blocks)
     program.Block.funcs;
-  let s =
     {
       cfg = config;
       pred = Blockpred.create config.predictor;
@@ -1021,8 +1037,8 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
       infl_len = 0;
       infl_insts = 0;
     }
-  in
-  let infl_push fetch commit size =
+
+let infl_push s fetch commit size =
     (* drop committed-before-this-fetch entries from the front (commit
        times are strictly increasing, so survivors form a suffix) *)
     while s.infl_len > 0 && s.infl_commit.(s.infl_head) <= fetch do
@@ -1052,12 +1068,18 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
     s.infl_size.(tail) <- size;
     s.infl_len <- s.infl_len + 1;
     s.infl_insts <- s.infl_insts + size
-  in
-  let on_instance (inst : Exec.instance) =
-    let b = inst.Exec.iblock in
-    let plan = Hashtbl.find s.plans b.Block.label in
-    let label_id = intern_plan s plan in
-    let n = plan.p_n in
+
+(* One committed block instance: everything [run] does around the
+   dataflow timing itself — fetch scheduling, I-cache, commit, register
+   availability, next-block prediction, occupancy accounting.  [time]
+   computes the dataflow portion; engines that compile plans substitute
+   their own. *)
+type time_fn = sim -> plan -> Exec.instance -> dispatch_start:int -> btime
+
+let step_instance s ~(time : time_fn) (plan : plan) (inst : Exec.instance) =
+  let config = s.cfg in
+  let label_id = intern_plan s plan in
+  let n = plan.p_n in
     (* 1. fetch start *)
     let frame_limit =
       if s.seq >= config.window_blocks then
@@ -1080,7 +1102,7 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
     (* 2. instruction fetch *)
     let ilat = icache_fetch s ~addr:plan.p_addr ~bytes:plan.p_bytes ~now:fetch in
     (* 3. dataflow *)
-    let bt = time_block s config plan inst ~dispatch_start:(fetch + ilat) in
+    let bt = time s plan inst ~dispatch_start:(fetch + ilat) in
     (* 4. commit: the distributed protocol adds latency but is pipelined,
        not serializing (the paper found block commit off the critical
        path) *)
@@ -1156,10 +1178,11 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
     let residency = imax 1 (commit - fetch) in
     s.st.occupancy_weighted <- s.st.occupancy_weighted +. float_of_int (n * residency);
     s.st.occupancy_useful <- s.st.occupancy_useful +. float_of_int (useful * residency);
-    infl_push fetch commit n;
+    infl_push s fetch commit n;
     if s.infl_insts > s.st.peak_occupancy then s.st.peak_occupancy <- s.infl_insts
-  in
-  let exec_result = Exec.run ?fuel ~on_instance program image ~entry ~args in
+
+(* Assemble the public result once execution finished. *)
+let collect_result s (exec_result : Exec.result) =
   s.st.cycles <- max 1 s.last_commit;
   {
     ret = exec_result.Exec.ret;
@@ -1173,8 +1196,24 @@ let run ?(config = prototype) ?fuel (program : Block.program) image ~entry ~args
         (Hashtbl.fold
            (fun label (p : plan) acc ->
              if p.p_obs.bo_instances > 0 then (label, p.p_obs) :: acc else acc)
-           plans []);
+           s.plans []);
   }
+
+let interp_time : time_fn =
+ fun s plan inst ~dispatch_start ->
+  time_block s s.cfg plan inst ~dispatch_start
+
+let drive ?fuel s ~(time : time_fn) (program : Block.program) image ~entry ~args =
+  let on_instance (inst : Exec.instance) =
+    let plan = Hashtbl.find s.plans inst.Exec.iblock.Block.label in
+    step_instance s ~time plan inst
+  in
+  let exec_result = Exec.run ?fuel ~on_instance program image ~entry ~args in
+  collect_result s exec_result
+
+let run ?config ?fuel (program : Block.program) image ~entry ~args =
+  let s = make_sim ?config program in
+  drive ?fuel s ~time:interp_time program image ~entry ~args
 
 let ipc r =
   float_of_int r.exec.Exec.executed /. float_of_int (max 1 r.timing.cycles)

@@ -88,3 +88,188 @@ val avg_window : result -> float
 (** Average instructions in flight (Fig 6). *)
 
 val avg_window_useful : result -> float
+
+(** {1 Engine hooks}
+
+    The whole-program driver, static plans and per-instance machinery are
+    exposed so engines layered on top — the plan specializer
+    ({!Trips_sim.Specialize}) and checkpointing ({!Trips_sim.Checkpoint})
+    — can reuse the exact model state transitions instead of duplicating
+    them.  Everything below is Core's internal representation; treat it
+    as read-mostly and keep any mutation bit-identical to what
+    {!time_block} / {!step_instance} would have done. *)
+
+type ext = ..
+(** Open extension slot on a {!plan}: engines attach derived/compiled
+    per-block state ({!Trips_sim.Specialize} stores its compiled entry). *)
+
+type ext += Ext_none
+
+val k_alu : int
+val k_load : int
+val k_store : int
+val k_branch : int
+
+type plan = {
+  p_label : string;
+  mutable p_id : int;                (* interned label id; -1 until first use *)
+  p_addr : int;                      (* code address *)
+  p_bytes : int;                     (* compressed footprint *)
+  p_n : int;
+  p_pos : (int * int) array;         (* per-inst ET mesh position *)
+  p_tile : int array;                (* per-inst ET index *)
+  p_need : int array;                (* operand arity + predicate slot *)
+  p_lat : int array;                 (* Isa.latency per instruction *)
+  p_kind : int array;                (* k_alu / k_load / k_store / k_branch *)
+  p_lsid : int array;                (* loads and stores; -1 otherwise *)
+  p_wait : int array;                (* Depend site id of the wait check *)
+  p_viol : int array;                (* Depend site id of violation learning *)
+  p_toff : int array;                (* n+1 offsets into p_tgt *)
+  p_tgt : int array;
+  p_wreg : int array;                (* per To_write occurrence: arch reg *)
+  p_wpos : (int * int) array;        (* and its RT mesh position *)
+  p_disp : int array;                (* dispatch offset: 1 + i / rate *)
+  p_disp_done : int;                 (* offset of last dispatch *)
+  p_zero : int array;                (* indices with p_need = 0, ascending *)
+  p_rd_reg : int array;              (* read slots: arch reg *)
+  p_rd_pos : (int * int) array;      (* and its RT mesh position *)
+  p_roff : int array;                (* reads+1 offsets into p_rtgt *)
+  p_rtgt : int array;
+  p_exits : int array;               (* branch inst indices, ascending *)
+  p_tvar : int array;                (* per p_tgt entry: variant base *)
+  p_tci : int array;                 (* per p_tgt entry: message class *)
+  p_dtvar : int array;               (* per inst: ET->DT variant base, -1 *)
+  p_brvar : int array;               (* per branch inst: ET->GT variant, -1 *)
+  p_rvar : int array;                (* per p_rtgt To_inst entry: RT->ET *)
+  p_voff : int array;
+  p_vlen : int array;
+  p_paths : int array;
+  p_obs : block_obs;                 (* measured profile, updated in place *)
+  mutable p_ext : ext;               (* engine extension (specializer) *)
+}
+
+type scratch = {
+  sc_cnt : int array;                (* arrived operand count per inst *)
+  sc_arr : int array;                (* max arrival time per inst *)
+  sc_done : int array;               (* completion time, -1 = pending *)
+  sc_et : int array;                 (* per-ET next free issue cycle *)
+  sc_dt : int array;                 (* per-DT-bank next free cycle *)
+  sc_store : int array;              (* per-LSID store DT arrival *)
+  sc_ev_addr : int array;            (* memory event of the inst, addr *)
+  sc_ev_width : int array;           (* bytes *)
+  sc_ev_bank : int array;            (* L1D bank of the event address *)
+  sc_ev_null : bool array;
+  sc_has_ev : bool array;
+  mutable q_head : int array;        (* calendar queue: time offset -> inst *)
+  mutable q_bits : int array;        (* bucket-occupancy bitmap, 32/word *)
+  q_next : int array;
+  mutable q_cursor : int;
+  mutable q_count : int;
+  mutable q_base : int;
+  m_lsid : int array;                (* per-instance memory events (SoA) *)
+  m_load : bool array;
+  m_addr : int array;
+  m_width : int array;
+  m_null : bool array;
+  m_time : int array;
+  m_viol : int array;
+  mutable m_cnt : int;
+  v_load : int array;                (* violation sweep scratch *)
+  v_store : int array;
+  w_reg : int array;                 (* register writes of the instance *)
+  w_time : int array;
+  mutable w_cnt : int;
+}
+
+type sim = {
+  cfg : config;
+  mutable pred : Trips_predictor.Blockpred.t;
+  mutable dep : Trips_predictor.Depend.t;
+  opn : Trips_noc.Opn.t;
+  mutable l1d : Trips_mem.Cache.t;
+  mutable l1i : Trips_mem.Cache.t;
+  mutable l2 : Trips_mem.Cache.t;
+  mutable dram_free_at : int;
+  st : stats;
+  plans : (string, plan) Hashtbl.t;
+  mutable next_id : int;
+  ids : (string, int) Hashtbl.t;
+  func_entry : (string, string) Hashtbl.t;
+  dt_pos : (int * int) array;
+  scratch : scratch;
+  mutable reg_ready : int array;
+  mutable shadow_stack : string list;
+  mutable prev : prev option;
+  mutable last_commit : int;
+  mutable commits : int array;
+  mutable seq : int;
+  mutable infl_fetch : int array;
+  mutable infl_commit : int array;
+  mutable infl_size : int array;
+  mutable infl_head : int;
+  mutable infl_len : int;
+  mutable infl_insts : int;
+}
+
+and prev = {
+  p_fetch : int;
+  p_resolve : int;
+  p_correct : bool;
+  p_kind : Trips_predictor.Blockpred.kind;
+}
+
+type btime = {
+  bt_resolve : int;                  (* branch resolution at the GT *)
+  bt_done : int;                     (* all outputs produced *)
+  bt_flushed : bool;
+}
+
+type time_fn = sim -> plan -> Trips_edge.Exec.instance -> dispatch_start:int -> btime
+
+val build_plan : config -> Trips_edge.Block.t -> addr:int -> plan
+
+val make_sim : ?config:config -> Trips_edge.Block.program -> sim
+(** Static planning plus fresh model state; [run] is [drive] over this. *)
+
+val intern_plan : sim -> plan -> int
+val intern : sim -> string -> int
+
+val queue_push : scratch -> int -> int -> unit
+val queue_pop : scratch -> int
+val imax : int -> int -> int
+
+val icache_fetch : sim -> addr:int -> bytes:int -> now:int -> int
+val l2_access : sim -> addr:int -> write:bool -> now:int -> int
+
+val time_block :
+  sim -> config -> plan -> Trips_edge.Exec.instance -> dispatch_start:int -> btime
+(** The interpretive dataflow timer: the reference any compiled engine
+    must match bit for bit. *)
+
+val finish_instance : sim -> config -> resolve:int -> btime
+(** End-of-instance protocol over the scratch memory events: violation
+    sweep, load-wait learning, completion/flush arithmetic.  Every
+    dataflow timer must end with exactly this. *)
+
+val interp_time : time_fn
+
+val step_instance : sim -> time:time_fn -> plan -> Trips_edge.Exec.instance -> unit
+(** Fetch scheduling, I-cache, [time], commit, register availability,
+    prediction and occupancy accounting for one committed instance. *)
+
+val collect_result : sim -> Trips_edge.Exec.result -> result
+
+val drive :
+  ?fuel:int ->
+  sim ->
+  time:time_fn ->
+  Trips_edge.Block.program ->
+  Trips_tir.Image.t ->
+  entry:string ->
+  args:Trips_tir.Ty.value list ->
+  result
+(** [run] with the model state and the dataflow timer supplied by the
+    caller: the seam the specialized engine plugs into. *)
+
+val block_bytes : int -> int
+(** Compressed code footprint of an [n]-instruction block (§4.4). *)

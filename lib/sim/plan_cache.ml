@@ -1,0 +1,60 @@
+module Result_cache = Trips_engine.Result_cache
+
+(* Bump when the derivation-table layout changes: the key embeds it, so
+   stale disk entries read as misses, never as misshapen tables. *)
+let schema = 1
+
+type counters = {
+  mutable hits_mem : int;
+  mutable hits_disk : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+type t = {
+  mem : (string, Obj.t) Hashtbl.t;
+  disk : Result_cache.t option;
+  ct : counters;
+}
+
+let create ?dir () =
+  {
+    mem = Hashtbl.create 64;
+    disk = Option.map Result_cache.open_ dir;
+    ct = { hits_mem = 0; hits_disk = 0; misses = 0; stores = 0 };
+  }
+
+let counters t = t.ct
+let dir t = Option.map Result_cache.dir t.disk
+
+let find (type a) t ~key : a option =
+  match Hashtbl.find_opt t.mem key with
+  | Some v ->
+    t.ct.hits_mem <- t.ct.hits_mem + 1;
+    Some (Obj.obj v : a)
+  | None -> (
+    match t.disk with
+    | None ->
+      t.ct.misses <- t.ct.misses + 1;
+      None
+    | Some d -> (
+      match Result_cache.find_raw d ~key with
+      | None ->
+        t.ct.misses <- t.ct.misses + 1;
+        None
+      | Some payload -> (
+        match (Marshal.from_string payload 0 : a) with
+        | v ->
+          t.ct.hits_disk <- t.ct.hits_disk + 1;
+          Hashtbl.replace t.mem key (Obj.repr v);
+          Some v
+        | exception _ ->
+          t.ct.misses <- t.ct.misses + 1;
+          None)))
+
+let store t ~key v =
+  t.ct.stores <- t.ct.stores + 1;
+  Hashtbl.replace t.mem key (Obj.repr v);
+  match t.disk with
+  | None -> ()
+  | Some d -> Result_cache.store_raw d ~key (Marshal.to_string v [])

@@ -1,0 +1,34 @@
+(** Content-hashed cache of the specializer's derived per-block tables.
+
+    Two layers under one lookup: an in-memory table (repeat sweeps inside
+    one process — the harness, the serve daemon — skip derivation
+    entirely) backed by an optional on-disk store reusing
+    {!Trips_engine.Result_cache} raw-payload conventions (digest-named
+    files carrying the verbatim key, temp-file/fsync/rename writes), so
+    repeat runs across processes skip it too.
+
+    Keys come from the caller ({!Specialize.plan_key}: a digest of
+    exactly the plan columns a derivation reads, with {!schema} mixed
+    in).  The typed {!find}/{!store} pair is [Marshal]-style unsafe;
+    safety rests on the key fully determining the stored type, which the
+    key's schema component guarantees for the specializer's use. *)
+
+type t
+
+type counters = {
+  mutable hits_mem : int;
+  mutable hits_disk : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+val create : ?dir:string -> unit -> t
+(** No [dir]: in-memory only. *)
+
+val counters : t -> counters
+val dir : t -> string option
+
+val find : t -> key:string -> 'a option
+val store : t -> key:string -> 'a -> unit
+
+val schema : int

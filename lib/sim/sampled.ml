@@ -1,0 +1,242 @@
+(* Sampled simulation: SMARTS-style systematic sampling over block
+   instances ([11] in PAPERS.md applies the same methodology family to
+   conventional superscalars).
+
+   Execution is always complete and exact — [Exec] interprets every
+   block, so architectural results, functional statistics and the block
+   execution-count profile match a full run.  What is sampled is the
+   *timing* model: block instances cycle through
+
+     detail-warm   (w blocks)  detailed model runs, measurement excluded
+     detail-measure(u blocks)  detailed model runs, cycles-per-block kept
+     fast-forward  (p-w-u)     functional warming only, clock frozen
+
+   with period [p].  During fast-forward the block predictor and all
+   three caches keep being trained/touched (state warming), so each
+   measurement interval sees realistic microarchitectural state after a
+   short re-warm of the frozen clock-dependent structures (operand
+   network occupancy, in-flight window, register-availability times).
+
+   The estimate is the classic systematic-sampling one: mean measured
+   cycles-per-block scaled by the total block count, with a Student-t
+   95% confidence interval from the variance across intervals.  Runs
+   too short to produce enough intervals fall back to full detailed
+   simulation (exact, CI 0). *)
+
+module Ty = Trips_tir.Ty
+module Image = Trips_tir.Image
+module Block = Trips_edge.Block
+module Isa = Trips_edge.Isa
+module Exec = Trips_edge.Exec
+module Blockpred = Trips_predictor.Blockpred
+module Cache = Trips_mem.Cache
+
+type params = {
+  sp_period : int;     (* blocks per sampling period *)
+  sp_warm : int;       (* detailed blocks re-warming the clock state *)
+  sp_measure : int;    (* detailed blocks actually measured *)
+  sp_min_intervals : int;  (* fewer measured intervals -> full fallback *)
+}
+
+let default_params =
+  { sp_period = 1024; sp_warm = 48; sp_measure = 80; sp_min_intervals = 24 }
+
+type estimate = {
+  es_cycles : float;           (* estimated whole-run cycles *)
+  es_ci95 : float;             (* +/- at 95% confidence *)
+  es_intervals : int;          (* measurement intervals used *)
+  es_measured_blocks : int;    (* block instances timed in detail *)
+  es_total_blocks : int;       (* block instances executed *)
+  es_cpb_mean : float;         (* mean measured cycles per block *)
+  es_cpb_stddev : float;       (* across-interval standard deviation *)
+  es_full : bool;              (* true: exact full simulation, CI 0 *)
+}
+
+(* Two-sided Student-t critical values at 95% for small df; 1.96 in the
+   limit.  Indexed by df, capped. *)
+let t95 df =
+  let table =
+    [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262;
+       2.228; 2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101;
+       2.093; 2.086; 2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052;
+       2.048; 2.045; 2.042 |]
+  in
+  if df <= 0 then infinity
+  else if df <= 30 then table.(df - 1)
+  else if df <= 60 then 2.00
+  else if df <= 120 then 1.98
+  else 1.96
+
+(* Functional warming of one block instance: exactly the predictor
+   training and cache touches [Core.step_instance] performs, with every
+   clock-coupled side effect omitted.  The shadow call stack must be
+   maintained here too, or return prediction desynchronizes across
+   fast-forward stretches. *)
+let warm_instance (s : Core.sim) (plan : Core.plan) (inst : Exec.instance) =
+  let label_id = Core.intern_plan s plan in
+  (* instruction lines *)
+  let line = (Cache.config s.Core.l1i).Cache.line in
+  let first = plan.Core.p_addr / line
+  and last = (plan.Core.p_addr + plan.Core.p_bytes - 1) / line in
+  for l = first to last do
+    let a = l * line in
+    if not (Cache.access s.Core.l1i ~addr:a ~write:false) then
+      ignore (Cache.access s.Core.l2 ~addr:a ~write:false)
+  done;
+  (* data accesses *)
+  List.iter
+    (fun (ev : Exec.mem_event) ->
+      if not ev.Exec.ev_null then begin
+        let write = not ev.Exec.ev_is_load in
+        if not (Cache.access s.Core.l1d ~addr:ev.Exec.ev_addr ~write) then
+          ignore (Cache.access s.Core.l2 ~addr:ev.Exec.ev_addr ~write)
+      end)
+    inst.Exec.mem_events;
+  (* next-block predictor training, as in the detailed path *)
+  let actual_label, kind =
+    match inst.Exec.exit_dest with
+    | Isa.Xjump l -> (Some l, Blockpred.Kjump)
+    | Isa.Xcall (fname, retl) ->
+      s.Core.shadow_stack <- retl :: s.Core.shadow_stack;
+      (Hashtbl.find_opt s.Core.func_entry fname, Blockpred.Kcall)
+    | Isa.Xret -> (
+      match s.Core.shadow_stack with
+      | [] -> (None, Blockpred.Kret)
+      | retl :: rest ->
+        s.Core.shadow_stack <- rest;
+        (Some retl, Blockpred.Kret))
+  in
+  (match Option.map (Core.intern s) actual_label with
+  | Some target ->
+    let exit_idx =
+      let exits = plan.Core.p_exits in
+      let rec find k =
+        if k >= Array.length exits then 0
+        else if exits.(k) = inst.Exec.exit_inst then k
+        else find (k + 1)
+      in
+      find 0
+    in
+    let fall =
+      match inst.Exec.exit_dest with
+      | Isa.Xcall (_, retl) -> Core.intern s retl
+      | _ -> 0
+    in
+    Blockpred.update s.Core.pred
+      {
+        Blockpred.o_block = label_id;
+        o_exit = exit_idx;
+        o_kind = kind;
+        o_target = target;
+        o_fallthrough = fall;
+      }
+  | None -> ());
+  (* execution counts keep accumulating so hot-block selection sees the
+     true profile *)
+  plan.Core.p_obs.Core.bo_instances <- plan.Core.p_obs.Core.bo_instances + 1
+
+let exact_estimate (r : Core.result) =
+  {
+    es_cycles = float_of_int r.Core.timing.Core.cycles;
+    es_ci95 = 0.;
+    es_intervals = 0;
+    es_measured_blocks = r.Core.exec.Exec.blocks;
+    es_total_blocks = r.Core.exec.Exec.blocks;
+    es_cpb_mean =
+      float_of_int r.Core.timing.Core.cycles
+      /. float_of_int (max 1 r.Core.exec.Exec.blocks);
+    es_cpb_stddev = 0.;
+    es_full = true;
+  }
+
+let run_report ?config ?fuel ?(threshold = Specialize.default_threshold) ?cache
+    ?(params = default_params) (program : Block.program) image ~entry ~args =
+  if params.sp_warm + params.sp_measure >= params.sp_period then
+    invalid_arg "Sampled.run: warm + measure must be below the period";
+  (* the specialized engine times the detailed stretches; compile-on-use
+     so measurement intervals hit compiled plans immediately *)
+  let image0 = Image.copy image in
+  let s = Core.make_sim ?config program in
+  let st = Specialize.make_state ?cache ~threshold s in
+  let time = Specialize.time st in
+  let samples = ref [] in
+  let n_blocks = ref 0 in
+  let measured_blocks = ref 0 in
+  let measure_c0 = ref 0 in
+  let detail = params.sp_warm + params.sp_measure in
+  let on_instance (inst : Exec.instance) =
+    let plan = Hashtbl.find s.Core.plans inst.Exec.iblock.Block.label in
+    let phase = !n_blocks mod params.sp_period in
+    if phase < detail then begin
+      if phase = 0 && !n_blocks > 0 then
+        (* re-enter the detailed model mid-run: continue the frozen clock
+           smoothly, as if the previous block fetched at the freeze point
+           and predicted correctly *)
+        s.Core.prev <-
+          Some
+            {
+              Core.p_fetch = s.Core.last_commit;
+              p_resolve = s.Core.last_commit;
+              p_correct = true;
+              p_kind = Blockpred.Kjump;
+            };
+      if phase = params.sp_warm then measure_c0 := s.Core.last_commit;
+      Core.step_instance s ~time plan inst;
+      if phase = detail - 1 then begin
+        samples :=
+          float_of_int (s.Core.last_commit - !measure_c0)
+          /. float_of_int params.sp_measure
+          :: !samples;
+        measured_blocks := !measured_blocks + params.sp_measure
+      end
+    end
+    else warm_instance s plan inst;
+    incr n_blocks
+  in
+  let exec_result = Exec.run ?fuel ~on_instance program image ~entry ~args in
+  Specialize.flush st;
+  let detailed = Core.collect_result s exec_result in
+  let total = exec_result.Exec.stats.Exec.blocks in
+  let n = List.length !samples in
+  if total <= detail then
+    (* the whole run fit inside the first detailed stretch: exact *)
+    (detailed, exact_estimate detailed, Specialize.state_report st)
+  else if n < params.sp_min_intervals then begin
+    (* too short to bound the error: fall back to full detailed *)
+    let full, rep =
+      Specialize.run_report ?config ?fuel ~threshold ?cache program image0
+        ~entry ~args
+    in
+    (full, exact_estimate full, rep)
+  end
+  else begin
+    let xs = !samples in
+    let nf = float_of_int n in
+    let mean = List.fold_left ( +. ) 0. xs /. nf in
+    let var =
+      List.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0. xs
+      /. (nf -. 1.)
+    in
+    let sd = sqrt var in
+    let totalf = float_of_int total in
+    let est =
+      {
+        es_cycles = mean *. totalf;
+        es_ci95 = t95 (n - 1) *. sd /. sqrt nf *. totalf;
+        es_intervals = n;
+        es_measured_blocks = !measured_blocks;
+        es_total_blocks = total;
+        es_cpb_mean = mean;
+        es_cpb_stddev = sd;
+        es_full = false;
+      }
+    in
+    (detailed, est, Specialize.state_report st)
+  end
+
+let run ?config ?fuel ?threshold ?cache ?params program image ~entry ~args =
+  let detailed, est, _ =
+    run_report ?config ?fuel ?threshold ?cache ?params program image ~entry
+      ~args
+  in
+  (detailed, est)

@@ -1,0 +1,606 @@
+module Ty = Trips_tir.Ty
+module Image = Trips_tir.Image
+module Isa = Trips_edge.Isa
+module Block = Trips_edge.Block
+module Exec = Trips_edge.Exec
+module Depend = Trips_predictor.Depend
+module Cache = Trips_mem.Cache
+module Opn = Trips_noc.Opn
+module Result_cache = Trips_engine.Result_cache
+
+(* The hot-block specializer: per-block partial evaluation of the
+   static timing plan's operand-network accounting.
+
+   [Core.time_block] pays, per packet, a [Opn.claim_path] call that
+   updates five profile counters (per-class hop histogram, packet, hop
+   and contention totals) besides the real occupancy work of ~1.5 hops.
+   Here each block past an execution-count threshold gets a compiled
+   entry: every static path variant is resolved once to a "cell" — a
+   distinct (message class, hop count) pair of the block — and the hot
+   path claims links through [Opn.claim_path_quiet] (identical
+   probe/claim sequence, no histogram work) while bumping one per-block
+   cell counter.  Cells are flushed into the shared profile once per
+   run; packet/hop/histogram totals are order-independent integer sums,
+   so the published profile is bit-identical to per-packet accounting.
+   Occupancy claims — the only order-sensitive shared structure — replay
+   the interpreter's exact sequence, so the engine is bit-identical to
+   [Core] (and hence [Core_ref]) on every statistic.
+
+   An earlier iteration of this pass compiled each instruction into a
+   step closure chain (latencies, targets and link ids baked into
+   closure environments, no interpretive dispatch).  Measured on the
+   full registry it was *slower* than the interpreter: the per-step and
+   per-message indirect calls cost more than the plan-walking they
+   replaced, and hoisting the claim loop out of [Opn] lost the
+   compile-time folding of [window]/[nlinks].  The surviving design
+   keeps the interpreter's flat drain — branch-predictable dispatch over
+   contiguous plan columns — and specializes the data instead: resolved
+   cells, batched counters, quiet claims.
+
+   Cold blocks fall back to [Core.time_block], so short programs pay no
+   compilation cost; [~threshold:0] compiles everything on first use
+   (parity suites, fuzzing).  Derived tables are pure data keyed by a
+   content hash of the plan columns they read, cached in memory and on
+   disk through [Plan_cache]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Derived tables: pure data, content-hash cacheable                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One "slot" per static path variant of the plan (same indexing as
+   [p_tvar]/[p_dtvar]/[p_brvar]/[p_rvar]); a "cell" is a distinct
+   (message class, hop count) pair of the block — what the batched
+   profile accounting needs to reconstruct the exact per-class hop
+   histogram, packet and hop totals at flush time. *)
+type tables = {
+  tb_cell_ci : int array;       (* cell -> OPN class index *)
+  tb_cell_len : int array;      (* cell -> hop count *)
+  tb_slot_cell : int array;     (* variant -> cell *)
+  tb_slot_ids : int array array;(* variant -> link ids, claim order *)
+}
+
+let derive (plan : Core.plan) : tables =
+  let nvar = Array.length plan.Core.p_voff in
+  let slot_ci = Array.make (max 1 nvar) (-1) in
+  let n = plan.Core.p_n in
+  let banks = Isa.num_dt_banks in
+  (* recover each variant's message class from the send sites, walking
+     the same structure [build_plan] allocated variants from *)
+  for i = 0 to n - 1 do
+    let is_load = plan.Core.p_kind.(i) = Core.k_load in
+    for k = plan.Core.p_toff.(i) to plan.Core.p_toff.(i + 1) - 1 do
+      let base = plan.Core.p_tvar.(k) in
+      if is_load && plan.Core.p_tgt.(k) >= 0 then
+        for b = 0 to banks - 1 do
+          slot_ci.(base + b) <- plan.Core.p_tci.(k)
+        done
+      else slot_ci.(base) <- plan.Core.p_tci.(k)
+    done;
+    (if plan.Core.p_dtvar.(i) >= 0 then
+       let base = plan.Core.p_dtvar.(i) in
+       for b = 0 to banks - 1 do
+         slot_ci.(base + b) <- Opn.class_index Opn.Et_dt
+       done);
+    if plan.Core.p_brvar.(i) >= 0 then
+      slot_ci.(plan.Core.p_brvar.(i)) <- Opn.class_index Opn.Et_gt
+  done;
+  Array.iter
+    (fun v -> if v >= 0 then slot_ci.(v) <- Opn.class_index Opn.Rt_et)
+    plan.Core.p_rvar;
+  (* distinct (class, hops) cells *)
+  let cells = Hashtbl.create 16 in
+  let cell_rev = ref [] and ncells = ref 0 in
+  let cell_of ci len =
+    match Hashtbl.find_opt cells (ci, len) with
+    | Some c -> c
+    | None ->
+      let c = !ncells in
+      incr ncells;
+      Hashtbl.replace cells (ci, len) c;
+      cell_rev := (ci, len) :: !cell_rev;
+      c
+  in
+  let slot_cell = Array.make (max 1 nvar) (-1) in
+  let slot_ids = Array.make (max 1 nvar) [||] in
+  for v = 0 to nvar - 1 do
+    if slot_ci.(v) >= 0 then begin
+      let len = plan.Core.p_vlen.(v) in
+      slot_cell.(v) <- cell_of slot_ci.(v) len;
+      slot_ids.(v) <- Array.sub plan.Core.p_paths plan.Core.p_voff.(v) len
+    end
+  done;
+  let cells_a = Array.of_list (List.rev !cell_rev) in
+  {
+    tb_cell_ci = Array.map fst cells_a;
+    tb_cell_len = Array.map snd cells_a;
+    tb_slot_cell = slot_cell;
+    tb_slot_ids = slot_ids;
+  }
+
+(* Content-hash key of a plan's derivation: exactly the static columns
+   [derive] reads (the block's code and config already determined them),
+   plus the table schema version.  [No_sharing] keeps the encoding
+   canonical, so equal blocks under equal configs produce equal keys
+   across programs, runs and processes. *)
+let plan_key (p : Core.plan) =
+  let material =
+    Marshal.to_string
+      ( Plan_cache.schema,
+        (p.Core.p_kind, p.Core.p_toff, p.Core.p_tgt, p.Core.p_tvar, p.Core.p_tci),
+        (p.Core.p_dtvar, p.Core.p_brvar, p.Core.p_rvar, p.Core.p_roff, p.Core.p_rtgt),
+        (p.Core.p_voff, p.Core.p_vlen, p.Core.p_paths) )
+      [ Marshal.No_sharing ]
+  in
+  Result_cache.key
+    ~parts:
+      [
+        "specialize";
+        string_of_int Plan_cache.schema;
+        Digest.to_hex (Digest.string material);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Compiled entries and per-run state                                  *)
+(* ------------------------------------------------------------------ *)
+
+type centry = {
+  ce_cnt : int array;        (* per-cell packet counts (batched) *)
+  ce_vcell : int array;      (* path variant -> cell (shared, read-only) *)
+  ce_cells_ci : int array;
+  ce_cells_len : int array;
+}
+
+type Core.ext += Compiled of centry
+
+type report = {
+  rp_blocks_compiled : int;        (* plans instantiated this run *)
+  rp_tables_derived : int;         (* derivations computed (cache misses) *)
+  rp_cache_hits_mem : int;
+  rp_cache_hits_disk : int;
+  rp_interpreted : int;            (* instances timed by the fallback *)
+}
+
+type state = {
+  sim : Core.sim;
+  threshold : int;
+  pcache : Plan_cache.t option;
+  mutable entries : centry list;      (* instantiated this run, for flush *)
+  mutable n_compiled : int;
+  mutable n_derived : int;
+  mutable n_hits_mem : int;
+  mutable n_hits_disk : int;
+  mutable n_interp : int;
+}
+
+let make_state ?cache ~threshold sim =
+  {
+    sim;
+    threshold;
+    pcache = cache;
+    entries = [];
+    n_compiled = 0;
+    n_derived = 0;
+    n_hits_mem = 0;
+    n_hits_disk = 0;
+    n_interp = 0;
+  }
+
+let tables_of st plan =
+  match st.pcache with
+  | None ->
+    st.n_derived <- st.n_derived + 1;
+    derive plan
+  | Some pc -> (
+    let key = plan_key plan in
+    let before = Plan_cache.counters pc in
+    let mem0 = before.Plan_cache.hits_mem and disk0 = before.Plan_cache.hits_disk in
+    match Plan_cache.find pc ~key with
+    | Some (tb : tables) ->
+      let after = Plan_cache.counters pc in
+      if after.Plan_cache.hits_mem > mem0 then
+        st.n_hits_mem <- st.n_hits_mem + 1;
+      if after.Plan_cache.hits_disk > disk0 then
+        st.n_hits_disk <- st.n_hits_disk + 1;
+      tb
+    | None ->
+      st.n_derived <- st.n_derived + 1;
+      let tb = derive plan in
+      Plan_cache.store pc ~key tb;
+      tb)
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation and the specialized drain                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile st (plan : Core.plan) : centry =
+  let tb = tables_of st plan in
+  let ce =
+    {
+      ce_cnt = Array.make (max 1 (Array.length tb.tb_cell_ci)) 0;
+      ce_vcell = tb.tb_slot_cell;
+      ce_cells_ci = tb.tb_cell_ci;
+      ce_cells_len = tb.tb_cell_len;
+    }
+  in
+  st.entries <- ce :: st.entries;
+  st.n_compiled <- st.n_compiled + 1;
+  ce
+
+(* [Core.time_block] with the specialized operand-network accounting:
+   every [Opn.claim_path] becomes [Opn.claim_path_quiet] (identical
+   probe/claim sequence over the occupancy window, contention summed
+   directly) plus one increment of the variant's batched cell counter.
+   Everything else — resets, event ingestion, read injection, the
+   readiness-ordered drain, violation sweep — must mirror the
+   interpreter statement for statement: the contract is bit identity. *)
+let time_compiled st (plan : Core.plan) (ce : centry) (inst : Exec.instance)
+    ~dispatch_start : Core.btime =
+  let s = st.sim in
+  let n = plan.Core.p_n in
+  let fired = inst.Exec.fired in
+  let sc = s.Core.scratch in
+  let sc_cnt = sc.Core.sc_cnt
+  and sc_arr = sc.Core.sc_arr
+  and sc_done = sc.Core.sc_done in
+  let sc_has_ev = sc.Core.sc_has_ev in
+  let p_need = plan.Core.p_need
+  and p_disp = plan.Core.p_disp
+  and p_pos = plan.Core.p_pos in
+  let p_tgt = plan.Core.p_tgt and p_toff = plan.Core.p_toff in
+  let cnt = ce.ce_cnt and vcell = ce.ce_vcell in
+  let opn = s.Core.opn in
+  (* reset instance-varying scratch *)
+  for i = 0 to n - 1 do
+    Array.unsafe_set sc_cnt i 0;
+    Array.unsafe_set sc_arr i min_int;
+    Array.unsafe_set sc_done i (-1);
+    Array.unsafe_set sc_has_ev i false
+  done;
+  Array.fill sc.Core.sc_et 0 (Array.length sc.Core.sc_et) 0;
+  Array.fill sc.Core.sc_dt 0 (Array.length sc.Core.sc_dt) 0;
+  Array.fill sc.Core.sc_store 0 (Array.length sc.Core.sc_store) min_int;
+  sc.Core.q_cursor <- 0;
+  sc.Core.q_count <- 0;
+  sc.Core.q_base <- dispatch_start;
+  sc.Core.m_cnt <- 0;
+  sc.Core.w_cnt <- 0;
+  (* memory-event lookup for fired loads/stores *)
+  List.iter
+    (fun (ev : Exec.mem_event) ->
+      let i = ev.Exec.ev_inst in
+      sc.Core.sc_ev_addr.(i) <- ev.Exec.ev_addr;
+      sc.Core.sc_ev_width.(i) <- Ty.bytes_of_width ev.Exec.ev_width;
+      sc.Core.sc_ev_bank.(i) <- Cache.bank_of s.Core.l1d ~addr:ev.Exec.ev_addr;
+      sc.Core.sc_ev_null.(i) <- ev.Exec.ev_null;
+      sc_has_ev.(i) <- true)
+    inst.Exec.mem_events;
+  let dispatch_done = dispatch_start + plan.Core.p_disp_done in
+  let resolve = ref (dispatch_start + 1) in
+  let push_write reg t =
+    sc.Core.w_reg.(sc.Core.w_cnt) <- reg;
+    sc.Core.w_time.(sc.Core.w_cnt) <- t;
+    sc.Core.w_cnt <- sc.Core.w_cnt + 1
+  in
+  let push_mem i lsid is_load t =
+    let k = sc.Core.m_cnt in
+    Array.unsafe_set sc.Core.m_lsid k lsid;
+    Array.unsafe_set sc.Core.m_load k is_load;
+    Array.unsafe_set sc.Core.m_addr k (Array.unsafe_get sc.Core.sc_ev_addr i);
+    Array.unsafe_set sc.Core.m_width k (Array.unsafe_get sc.Core.sc_ev_width i);
+    Array.unsafe_set sc.Core.m_null k (Array.unsafe_get sc.Core.sc_ev_null i);
+    Array.unsafe_set sc.Core.m_time k t;
+    Array.unsafe_set sc.Core.m_viol k (Array.unsafe_get plan.Core.p_viol i);
+    sc.Core.m_cnt <- k + 1
+  in
+  let arrive j t =
+    if Array.unsafe_get fired j then begin
+      if t > Array.unsafe_get sc_arr j then Array.unsafe_set sc_arr j t;
+      let c = Array.unsafe_get sc_cnt j + 1 in
+      Array.unsafe_set sc_cnt j c;
+      if c = Array.unsafe_get p_need j then
+        Core.queue_push sc
+          (Core.imax
+             (dispatch_start + Array.unsafe_get p_disp j)
+             (Array.unsafe_get sc_arr j))
+          j
+    end
+  in
+  let p_tvar = plan.Core.p_tvar in
+  let p_voff = plan.Core.p_voff
+  and p_vlen = plan.Core.p_vlen
+  and p_paths = plan.Core.p_paths in
+  let deliver_targets i completion =
+    let is_load = Array.unsafe_get plan.Core.p_kind i = Core.k_load in
+    if is_load && not (Array.unsafe_get sc_has_ev i) then begin
+      (* squashed load with no event (defensive): deliver from the ET.
+         [Opn.send] routes dynamically and does its own (per-packet)
+         profile accounting — bit-identical to the interpreter's
+         fallback, which uses the same calls in the same order. *)
+      let src_pos = Array.unsafe_get p_pos i in
+      for k = Array.unsafe_get p_toff i to Array.unsafe_get p_toff (i + 1) - 1
+      do
+        let v = Array.unsafe_get p_tgt k in
+        if v >= 0 then
+          arrive v
+            (Opn.send opn ~src:src_pos ~dst:(Array.unsafe_get p_pos v)
+               Opn.Dt_et ~now:completion)
+        else begin
+          let w = -v - 1 in
+          push_write plan.Core.p_wreg.(w)
+            (Opn.send opn ~src:src_pos ~dst:plan.Core.p_wpos.(w) Opn.Et_rt
+               ~now:completion)
+        end
+      done
+    end
+    else begin
+      (* loads deliver from the data tile of the accessed bank: their
+         To_inst edges carry one path variant per bank *)
+      let bank_add =
+        if is_load then Array.unsafe_get sc.Core.sc_ev_bank i else 0
+      in
+      for k = Array.unsafe_get p_toff i to Array.unsafe_get p_toff (i + 1) - 1
+      do
+        let v = Array.unsafe_get p_tgt k in
+        if v >= 0 then begin
+          let var = Array.unsafe_get p_tvar k + bank_add in
+          let c = Array.unsafe_get vcell var in
+          Array.unsafe_set cnt c (Array.unsafe_get cnt c + 1);
+          let len = Array.unsafe_get p_vlen var in
+          arrive v
+            (if len = 0 then completion
+             else
+               Opn.claim_path_quiet opn ~paths:p_paths
+                 ~off:(Array.unsafe_get p_voff var)
+                 ~len ~now:completion)
+        end
+        else begin
+          let w = -v - 1 in
+          let var = Array.unsafe_get p_tvar k in
+          let c = Array.unsafe_get vcell var in
+          Array.unsafe_set cnt c (Array.unsafe_get cnt c + 1);
+          let len = Array.unsafe_get p_vlen var in
+          push_write plan.Core.p_wreg.(w)
+            (if len = 0 then completion
+             else
+               Opn.claim_path_quiet opn ~paths:p_paths
+                 ~off:(Array.unsafe_get p_voff var)
+                 ~len ~now:completion)
+        end
+      done
+    end
+  in
+  (* inject reads *)
+  let nr = Array.length plan.Core.p_rd_reg in
+  for r = 0 to nr - 1 do
+    let avail =
+      Core.imax dispatch_done s.Core.reg_ready.(plan.Core.p_rd_reg.(r))
+    in
+    for k = plan.Core.p_roff.(r) to plan.Core.p_roff.(r + 1) - 1 do
+      let v = plan.Core.p_rtgt.(k) in
+      if v >= 0 then begin
+        let var = plan.Core.p_rvar.(k) in
+        let c = Array.unsafe_get vcell var in
+        Array.unsafe_set cnt c (Array.unsafe_get cnt c + 1);
+        let len = Array.unsafe_get p_vlen var in
+        arrive v
+          (if len = 0 then avail
+           else
+             Opn.claim_path_quiet opn ~paths:p_paths
+               ~off:(Array.unsafe_get p_voff var)
+               ~len ~now:avail)
+      end
+      else push_write plan.Core.p_wreg.(-v - 1) avail
+    done
+  done;
+  (* zero-operand fired instructions are ready once dispatched *)
+  Array.iter
+    (fun i ->
+      if Array.unsafe_get fired i then
+        Core.queue_push sc (dispatch_start + Array.unsafe_get p_disp i) i)
+    plan.Core.p_zero;
+  (* process in readiness-time order so operand-network link reservations
+     stay chronological: contention then reflects genuine overlap *)
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Core.queue_pop sc in
+    if i < 0 then continue_ := false
+    else if Array.unsafe_get sc_done i < 0 then begin
+      let operand_ready =
+        Core.imax
+          (dispatch_start + Array.unsafe_get p_disp i)
+          (Array.unsafe_get sc_arr i)
+      in
+      let tile = Array.unsafe_get plan.Core.p_tile i in
+      let issue = Core.imax operand_ready (Array.unsafe_get sc.Core.sc_et tile) in
+      Array.unsafe_set sc.Core.sc_et tile (issue + 1);
+      let kind = Array.unsafe_get plan.Core.p_kind i in
+      if kind = Core.k_alu then begin
+        let done_t = issue + Array.unsafe_get plan.Core.p_lat i in
+        Array.unsafe_set sc_done i done_t;
+        deliver_targets i done_t
+      end
+      else if kind = Core.k_load then begin
+        if not (Array.unsafe_get sc_has_ev i) then
+          (* squashed, defensive *)
+          Array.unsafe_set sc_done i (issue + Array.unsafe_get plan.Core.p_lat i)
+        else begin
+          let lsid = Array.unsafe_get plan.Core.p_lsid i in
+          let addr = Array.unsafe_get sc.Core.sc_ev_addr i in
+          let bank = Array.unsafe_get sc.Core.sc_ev_bank i in
+          (* predicted-dependent loads wait for all earlier stores *)
+          let wait =
+            if
+              Depend.should_wait s.Core.dep
+                ~load_id:(Array.unsafe_get plan.Core.p_wait i)
+            then begin
+              let acc = ref issue in
+              for l = 0 to lsid - 1 do
+                let t = Array.unsafe_get sc.Core.sc_store l in
+                if t > !acc then acc := t
+              done;
+              !acc
+            end
+            else issue
+          in
+          let var = Array.unsafe_get plan.Core.p_dtvar i + bank in
+          let c = Array.unsafe_get vcell var in
+          Array.unsafe_set cnt c (Array.unsafe_get cnt c + 1);
+          let vl = Array.unsafe_get p_vlen var in
+          let at_dt =
+            if vl = 0 then wait
+            else
+              Opn.claim_path_quiet opn ~paths:p_paths
+                ~off:(Array.unsafe_get p_voff var)
+                ~len:vl ~now:wait
+          in
+          let start = Core.imax at_dt (Array.unsafe_get sc.Core.sc_dt bank) in
+          Array.unsafe_set sc.Core.sc_dt bank (start + 1);
+          s.Core.st.Core.l1d_bytes <-
+            s.Core.st.Core.l1d_bytes + Array.unsafe_get sc.Core.sc_ev_width i;
+          let lat =
+            if Cache.access s.Core.l1d ~addr ~write:false then
+              Cache.hit_latency_of_bank s.Core.l1d bank
+            else begin
+              s.Core.st.Core.dcache_misses <- s.Core.st.Core.dcache_misses + 1;
+              (Cache.config s.Core.l1d).Cache.hit_latency
+              + Core.l2_access s ~addr ~write:false ~now:start
+            end
+          in
+          let data_ready = start + lat in
+          Array.unsafe_set sc_done i data_ready;
+          push_mem i lsid true start;
+          deliver_targets i data_ready
+        end
+      end
+      else if kind = Core.k_store then begin
+        let lsid = Array.unsafe_get plan.Core.p_lsid i in
+        let has_ev = Array.unsafe_get sc_has_ev i in
+        if not has_ev then begin
+          (* no event recorded: a nullified store with no address *)
+          sc.Core.sc_ev_addr.(i) <- 0;
+          sc.Core.sc_ev_width.(i) <- 0;
+          sc.Core.sc_ev_null.(i) <- true
+        end;
+        let is_null = Array.unsafe_get sc.Core.sc_ev_null i in
+        let addr = Array.unsafe_get sc.Core.sc_ev_addr i in
+        let bank =
+          if is_null then lsid land 3 else Array.unsafe_get sc.Core.sc_ev_bank i
+        in
+        let var = Array.unsafe_get plan.Core.p_dtvar i + bank in
+        let c = Array.unsafe_get vcell var in
+        Array.unsafe_set cnt c (Array.unsafe_get cnt c + 1);
+        let vl = Array.unsafe_get p_vlen var in
+        let at_dt =
+          if vl = 0 then issue + Array.unsafe_get plan.Core.p_lat i
+          else
+            Opn.claim_path_quiet opn ~paths:p_paths
+              ~off:(Array.unsafe_get p_voff var)
+              ~len:vl
+              ~now:(issue + Array.unsafe_get plan.Core.p_lat i)
+        in
+        let start = Core.imax at_dt (Array.unsafe_get sc.Core.sc_dt bank) in
+        Array.unsafe_set sc.Core.sc_dt bank (start + 1);
+        if not is_null then begin
+          s.Core.st.Core.l1d_bytes <-
+            s.Core.st.Core.l1d_bytes + Array.unsafe_get sc.Core.sc_ev_width i;
+          if not (Cache.access s.Core.l1d ~addr ~write:true) then begin
+            s.Core.st.Core.dcache_misses <- s.Core.st.Core.dcache_misses + 1;
+            ignore (Core.l2_access s ~addr ~write:true ~now:start)
+          end
+        end;
+        Array.unsafe_set sc_done i start;
+        Array.unsafe_set sc.Core.sc_store lsid start;
+        push_mem i lsid false start
+      end
+      else begin
+        (* branch *)
+        let done_t = issue + Array.unsafe_get plan.Core.p_lat i in
+        Array.unsafe_set sc_done i done_t;
+        let var = Array.unsafe_get plan.Core.p_brvar i in
+        let c = Array.unsafe_get vcell var in
+        Array.unsafe_set cnt c (Array.unsafe_get cnt c + 1);
+        let vl = Array.unsafe_get p_vlen var in
+        let t =
+          if vl = 0 then done_t
+          else
+            Opn.claim_path_quiet opn ~paths:p_paths
+              ~off:(Array.unsafe_get p_voff var)
+              ~len:vl ~now:done_t
+        in
+        if i = inst.Exec.exit_inst && t > !resolve then resolve := t
+      end
+    end
+  done;
+  Core.finish_instance s s.Core.cfg ~resolve:!resolve
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection and profile flush                                  *)
+(* ------------------------------------------------------------------ *)
+
+let time st : Core.time_fn =
+ fun s plan inst ~dispatch_start ->
+  match plan.Core.p_ext with
+  | Compiled ce -> time_compiled st plan ce inst ~dispatch_start
+  | _ ->
+    if plan.Core.p_obs.Core.bo_instances >= st.threshold then begin
+      let ce = compile st plan in
+      plan.Core.p_ext <- Compiled ce;
+      time_compiled st plan ce inst ~dispatch_start
+    end
+    else begin
+      st.n_interp <- st.n_interp + 1;
+      Core.time_block s s.Core.cfg plan inst ~dispatch_start
+    end
+
+(* Publish the batched packet counts into the shared OPN profile
+   (contention already accumulated claim by claim).  Integer sums are
+   order-independent, so the flushed profile equals what per-packet
+   accounting would have produced. *)
+let flush st =
+  let prof = Opn.profile st.sim.Core.opn in
+  List.iter
+    (fun ce ->
+      let cnt = ce.ce_cnt in
+      for c = 0 to Array.length ce.ce_cells_ci - 1 do
+        let m = cnt.(c) in
+        if m > 0 then begin
+          let ci = ce.ce_cells_ci.(c) and len = ce.ce_cells_len.(c) in
+          let bucket = if len < 5 then len else 5 in
+          prof.Opn.packets.(ci).(bucket) <- prof.Opn.packets.(ci).(bucket) + m;
+          prof.Opn.total_packets <- prof.Opn.total_packets + m;
+          prof.Opn.total_hops <- prof.Opn.total_hops + (m * len);
+          cnt.(c) <- 0
+        end
+      done)
+    st.entries
+
+let state_report st =
+  {
+    rp_blocks_compiled = st.n_compiled;
+    rp_tables_derived = st.n_derived;
+    rp_cache_hits_mem = st.n_hits_mem;
+    rp_cache_hits_disk = st.n_hits_disk;
+    rp_interpreted = st.n_interp;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program runs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_threshold = 16
+
+let run_report ?config ?fuel ?(threshold = default_threshold) ?cache
+    (program : Block.program) image ~entry ~args =
+  let s = Core.make_sim ?config program in
+  let st = make_state ?cache ~threshold s in
+  let time = time st in
+  let on_instance (inst : Exec.instance) =
+    let plan = Hashtbl.find s.Core.plans inst.Exec.iblock.Block.label in
+    Core.step_instance s ~time plan inst
+  in
+  let exec_result = Exec.run ?fuel ~on_instance program image ~entry ~args in
+  flush st;
+  (Core.collect_result s exec_result, state_report st)
+
+let run ?config ?fuel ?threshold ?cache program image ~entry ~args =
+  fst (run_report ?config ?fuel ?threshold ?cache program image ~entry ~args)

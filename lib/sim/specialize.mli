@@ -1,0 +1,89 @@
+(** Hot-block specialization: compiled timing plans.
+
+    A drop-in alternative engine for {!Core}: same model, same numbers,
+    different execution strategy.  Blocks whose observed instance count
+    reaches a threshold are partially evaluated — every static operand
+    path of the block is resolved once to a "cell" (a distinct message
+    class / hop count pair), and the specialized drain then claims
+    network links through the quiet claim primitive while counting
+    packets in per-block cells, batched into the shared profile once per
+    run.  Cold blocks fall back to {!Core.time_block}, so short programs
+    pay no compilation cost.
+
+    The contract is bit-identity: on any program and config, {!run}
+    produces a result equal (cycles and every statistic, including the
+    OPN profile) to {!Core.run}'s, because occupancy claims — the one
+    order-sensitive shared structure — replay the interpreter's exact
+    probe/claim sequence, and everything batched is an order-independent
+    integer sum.
+
+    Derived per-block tables (message cells per path variant) are pure
+    data and can be cached across runs and processes through
+    {!Plan_cache}, keyed by {!plan_key}. *)
+
+type tables
+(** Derivation output: pure, marshalable, position-independent.  What
+    {!Plan_cache} stores. *)
+
+val derive : Core.plan -> tables
+
+val plan_key : Core.plan -> string
+(** Content-hash cache key: a digest over exactly the static plan
+    columns {!derive} reads (which the block's code and the ISA config
+    fully determine), plus {!Plan_cache.schema}. *)
+
+type report = {
+  rp_blocks_compiled : int;   (** plans instantiated this run *)
+  rp_tables_derived : int;    (** derivations computed (cache misses) *)
+  rp_cache_hits_mem : int;
+  rp_cache_hits_disk : int;
+  rp_interpreted : int;       (** instances timed by the cold fallback *)
+}
+
+val default_threshold : int
+(** Instances of a block before it is compiled.  [~threshold:0] compiles
+    every block on first use (parity suites, differential fuzzing). *)
+
+val run :
+  ?config:Core.config ->
+  ?fuel:int ->
+  ?threshold:int ->
+  ?cache:Plan_cache.t ->
+  Trips_edge.Block.program ->
+  Trips_tir.Image.t ->
+  entry:string ->
+  args:Trips_tir.Ty.value list ->
+  Core.result
+
+val run_report :
+  ?config:Core.config ->
+  ?fuel:int ->
+  ?threshold:int ->
+  ?cache:Plan_cache.t ->
+  Trips_edge.Block.program ->
+  Trips_tir.Image.t ->
+  entry:string ->
+  args:Trips_tir.Ty.value list ->
+  Core.result * report
+(** {!run} plus compilation/cache counters, for the CLI, the service's
+    engine report and the CI cold/warm cache smoke. *)
+
+(** {1 Driver primitives}
+
+    For engines that embed the specializer in a larger drive loop (the
+    sampled simulator interleaves it with functional fast-forward). *)
+
+type state
+(** Per-run engine state: compiled entries, counters, the cache handle. *)
+
+val make_state : ?cache:Plan_cache.t -> threshold:int -> Core.sim -> state
+
+val time : state -> Core.time_fn
+(** The engine's timing function: compiled entry when hot, compiling on
+    the threshold crossing, {!Core.time_block} otherwise. *)
+
+val flush : state -> unit
+(** Publish batched per-block packet cells into the simulator's OPN
+    profile.  Call once, after the last instance. *)
+
+val state_report : state -> report

@@ -179,16 +179,25 @@ let test_protocol_parse_run_request () =
     | Result.Ok _ -> Alcotest.fail ("accepted: " ^ token ^ " " ^ body)
     | Result.Error (_ : string) -> ()
   in
+  (match
+     Protocol.parse_run_request ~verb_token:"simulate"
+       {|{"bench":"fft","mode":"sampled"}|}
+   with
+  | Result.Ok r ->
+    Alcotest.(check string) "mode" "sampled" r.Service.mode
+  | Result.Error e -> Alcotest.fail e);
   bad "timing" "not json";
   bad "timing" {|{"nobench":1}|};
   bad "timing" {|{"bench":"nosuchbench"}|};
   bad "frobnicate" {|{"bench":"fft"}|};
   bad "timing" {|{"bench":"fft","preset":"O9"}|};
+  bad "timing" {|{"bench":"fft","mode":"sampled"}|};
+  bad "simulate" {|{"bench":"fft","mode":"warp"}|};
   bad "run" {|{"bench":"fft"}|}
 
 let test_service_cache_key_distinguishes () =
   let key verb bench preset =
-    match Service.make ~verb ~bench ~preset with
+    match Service.make ~mode:"" ~verb ~bench ~preset with
     | Result.Ok r -> Service.cache_key r
     | Result.Error e -> Alcotest.fail e
   in
@@ -199,7 +208,14 @@ let test_service_cache_key_distinguishes () =
   Alcotest.(check bool) "preset matters" true
     (key "timing" "fft" "C" <> key "timing" "fft" "H");
   Alcotest.(check string) "stable across calls" (key "lint" "fft" "C")
-    (key "lint" "fft" "C")
+    (key "lint" "fft" "C");
+  let keym mode =
+    match Service.make ~mode ~verb:"simulate" ~bench:"fft" ~preset:"C" with
+    | Result.Ok r -> Service.cache_key r
+    | Result.Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "mode matters" true (keym "detail" <> keym "sampled");
+  Alcotest.(check string) "empty mode is detail" (keym "") (keym "detail")
 
 (* -- Histogram --------------------------------------------------------- *)
 
@@ -293,7 +309,7 @@ let test_e2e_concurrent_identical_requests_compute_once () =
   let port = Server.port t in
   let n = 8 in
   let body =
-    match Service.make ~verb:"simulate" ~bench:"fft" ~preset:"C" with
+    match Service.make ~mode:"" ~verb:"simulate" ~bench:"fft" ~preset:"C" with
     | Result.Ok r -> Protocol.run_request_body r
     | Result.Error e -> Alcotest.fail e
   in
