@@ -363,6 +363,223 @@ let lint_cmd =
     Term.(
       ret (const lint_main $ benches $ all $ presets $ format $ strict $ out))
 
+(* -- absint ----------------------------------------------------------- *)
+
+let absint_refutations ptag (b : Registry.bench) =
+  (* Full translation validation (memoized alongside the transval sweep);
+     with the global passes on, every applied fact and LSID relaxation is
+     re-derived and replayed by the validator. *)
+  let reports =
+    Platforms.memo
+      (Printf.sprintf "transval/%s/%s" ptag b.Registry.name)
+      (fun () -> fst (Driver.validate (Absint_xv.preset_of ptag) b.Registry.program))
+  in
+  let s = Trips_analysis.Transval.summarize reports in
+  s.Trips_analysis.Transval.n_refuted
+
+let absint_main benches all presets validate format strict out =
+  try
+    let benches =
+      if all || benches = [] then Registry.all
+      else List.map Registry.find benches
+    in
+    let presets = if presets = [] then [ "C"; "H" ] else presets in
+    List.iter (fun p -> ignore (Absint_xv.preset_of p)) presets;
+    let results =
+      List.concat_map
+        (fun (b : Registry.bench) ->
+          List.map
+            (fun ptag ->
+              let r = Absint_xv.row ptag b in
+              let ds = Absint_xv.diags_of ptag b in
+              let refuted =
+                if validate then Some (absint_refutations ptag b) else None
+              in
+              (b, ptag, r, ds, refuted))
+            presets)
+        benches
+    in
+    let all_ds = List.concat_map (fun (_, _, _, ds, _) -> ds) results in
+    let refute_ds =
+      List.filter_map
+        (fun ((b : Registry.bench), ptag, _, _, refuted) ->
+          match refuted with
+          | Some n when n > 0 ->
+            Some
+              (Diag.make ~pass:"transval" ~fname:b.Registry.name "refuted"
+                 (Printf.sprintf "%s [%s]: %d refuted validation report(s)"
+                    b.Registry.name ptag n))
+          | _ -> None)
+        results
+    in
+    let total_hits =
+      List.fold_left
+        (fun acc (_, _, (r : Absint_xv.row), _, _) ->
+          acc + Absint_xv.total_hits r.Absint_xv.a_gs)
+        0 results
+    in
+    let total_refuted =
+      List.fold_left
+        (fun acc (_, _, _, _, refuted) ->
+          acc + Option.value refuted ~default:0)
+        0 results
+    in
+    let report_json =
+      Json.Obj
+        [
+          ( "programs",
+            Json.List
+              (List.map
+                 (fun ((b : Registry.bench), ptag, (r : Absint_xv.row), ds, refuted) ->
+                   let s = r.Absint_xv.a_stats in
+                   let gs = r.Absint_xv.a_gs in
+                   Json.Obj
+                     ([
+                        ("bench", Json.Str b.Registry.name);
+                        ("preset", Json.Str ptag);
+                        ( "facts",
+                          Json.Obj
+                            [
+                              ("const_defs", Json.Int s.Trips_analysis.Absint.s_const_defs);
+                              ("dead_branches", Json.Int s.Trips_analysis.Absint.s_dead_branches);
+                              ("sep_pairs", Json.Int s.Trips_analysis.Absint.s_sep_pairs);
+                              ("widenings", Json.Int s.Trips_analysis.Absint.s_widenings);
+                            ] );
+                        ( "hits",
+                          Json.Obj
+                            [
+                              ("consts", Json.Int gs.Driver.gs_consts);
+                              ("branches", Json.Int gs.Driver.gs_branches);
+                              ("rles", Json.Int gs.Driver.gs_rles);
+                              ("dses", Json.Int gs.Driver.gs_dses);
+                              ("relaxed", Json.Int gs.Driver.gs_relaxed);
+                              ("total", Json.Int (Absint_xv.total_hits gs));
+                            ] );
+                        ("findings", Diag.list_to_json ds);
+                      ]
+                     @
+                     match refuted with
+                     | Some n -> [ ("refuted", Json.Int n) ]
+                     | None -> []))
+                 results) );
+          ( "summary",
+            Json.Obj
+              [
+                ("programs", Json.Int (List.length results));
+                ("total_hits", Json.Int total_hits);
+                ("errors", Json.Int (Diag.errors all_ds));
+                ("warnings", Json.Int (Diag.warnings all_ds));
+                ("validated", Json.Bool validate);
+                ("refuted", Json.Int total_refuted);
+                ("strict", Json.Bool strict);
+              ] );
+        ]
+    in
+    (match format with
+    | "txt" ->
+      List.iter
+        (fun ((b : Registry.bench), ptag, (r : Absint_xv.row), ds, refuted) ->
+          let s = r.Absint_xv.a_stats in
+          let gs = r.Absint_xv.a_gs in
+          Printf.printf
+            "%s [%s]: %d const def(s), %d dead branch(es), %d sep pair(s); \
+             hits %d (%d/%d/%d/%d/%d)%s\n"
+            b.Registry.name ptag s.Trips_analysis.Absint.s_const_defs
+            s.Trips_analysis.Absint.s_dead_branches
+            s.Trips_analysis.Absint.s_sep_pairs
+            (Absint_xv.total_hits gs) gs.Driver.gs_consts gs.Driver.gs_branches
+            gs.Driver.gs_rles gs.Driver.gs_dses gs.Driver.gs_relaxed
+            (match refuted with
+            | Some n -> Printf.sprintf "; refuted %d" n
+            | None -> "");
+          print_string (Diag.render_text ds))
+        results;
+      Printf.printf "absint: %d program(s): %d global hit(s)%s, %s\n"
+        (List.length results) total_hits
+        (if validate then Printf.sprintf ", %d refuted" total_refuted else "")
+        (Analyzer.summary all_ds)
+    | "json" -> print_string (Json.to_string report_json)
+    | f -> invalid_arg ("unknown format " ^ f ^ " (txt|json)"));
+    (match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string report_json);
+      close_out oc;
+      Printf.eprintf "absint report: %s\n" file
+    | None -> ());
+    strict_exit ~what:"absint" ~strict (refute_ds @ all_ds)
+  with
+  | Invalid_argument msg | Sys_error msg | Failure msg -> `Error (false, msg)
+  | Not_found -> `Error (false, "unknown benchmark (see `trips_run list`)")
+
+let absint_cmd =
+  let doc =
+    "Run the global abstract interpretation and report derived facts, \
+     discharged optimizations, and findings."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the whole-program abstract interpretation (value ranges, \
+         known bits, nullness, global alias partition) over each selected \
+         benchmark's optimized TIR, reports the facts it derives and the \
+         global-optimization hits the driver applied (constant/branch \
+         folding, redundant-load and dead-store elimination, LSID-ordering \
+         relaxation), plus its diagnostics: provably dead branches, \
+         guaranteed division traps, out-of-range shifts, and the \
+         must-not-alias pair count.  With $(b,--validate) the full \
+         translation validator additionally re-derives and replays every \
+         applied fact, and any refutation fails the run.";
+    ]
+  in
+  let benches =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark to analyze (repeatable).")
+  in
+  let all =
+    Arg.(
+      value & flag & info [ "all" ] ~doc:"Analyze every registered benchmark.")
+  in
+  let presets =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "preset" ] ~docv:"O0|C|H|BB"
+          ~doc:"Code-quality preset (repeatable; default C and H).")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Also run the translation validator and fail on any refutation.")
+  in
+  let format =
+    Arg.(
+      value & opt string "txt"
+      & info [ "format" ] ~docv:"txt|json" ~doc:"Report rendering.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Fail on warnings as well as errors.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "absint" ~doc ~man)
+    Term.(
+      ret
+        (const absint_main $ benches $ all $ presets $ validate $ format
+       $ strict $ out))
+
 (* -- timing ----------------------------------------------------------- *)
 
 module Timing = Trips_analysis.Timing
@@ -1298,7 +1515,7 @@ let fuzz_main seed count presets max_stmts jobs inject shrink_evals format out
           match Fuzz_oracle.inject_of_string s with
           | Some i -> i
           | None ->
-            invalid_arg ("unknown injection " ^ s ^ " (geni-bump|imm-bump)"))
+            invalid_arg ("unknown injection " ^ s ^ " (geni-bump|imm-bump|absint-N)"))
         inject
     in
     let oracle = Fuzz_xv.oracle ~presets ?inject () in
@@ -1401,7 +1618,7 @@ let fuzz_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "inject" ] ~docv:"geni-bump|imm-bump"
+      & info [ "inject" ] ~docv:"geni-bump|imm-bump|absint-N"
           ~doc:
             "Inject a compiler bug into every compiled program (the PR 6 \
              mutation style); the oracle must catch and shrink it.")
@@ -1566,6 +1783,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:default_term info
-          [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; timing_cmd;
-            sampling_cmd; transval_cmd; simbench_cmd; fuzz_cmd;
+          [ list_cmd; run_cmd; exp_cmd; disasm_cmd; lint_cmd; absint_cmd;
+            timing_cmd; sampling_cmd; transval_cmd; simbench_cmd; fuzz_cmd;
             serve_client_cmd ]))

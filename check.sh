@@ -30,6 +30,28 @@ echo "translation validation: $proved block(s) proved, $refuted refuted"
   exit 1
 }
 
+echo "== global abstract interpretation: trips_run absint --all --strict =="
+# Fact/hit payoff ledger for the global optimizer.  Soundness is covered
+# by the transval stage above (the full matrix re-derives and replays
+# every applied global fact and LSID relaxation); here we gate that the
+# passes keep actually firing.
+dune exec bin/trips_run.exe -- absint --all --preset C --preset H --preset BB \
+  --strict --out absint-report.json >/dev/null
+hits=$(sed -n 's/.*"total_hits": \([0-9]*\).*/\1/p' absint-report.json | tail -1)
+min_hits=$(sed -n 's/.*"min_global_hits": \([0-9]*\).*/\1/p' bench/BENCH_absint.json)
+programs=$(sed -n 's/.*"programs": \([0-9]*\).*/\1/p' absint-report.json | tail -1)
+awk -v h="$hits" -v mh="$min_hits" -v n="$programs" 'BEGIN {
+  if (h == "" || n == "") {
+    print "absint: summary missing from absint-report.json" > "/dev/stderr"
+    exit 1
+  }
+  printf "global optimization: %d hit(s) across %d program(s) (min %d)\n", h, n, mh
+  if (h + 0 < mh + 0) {
+    print "global optimization hits regressed past bench/BENCH_absint.json threshold" > "/dev/stderr"
+    exit 1
+  }
+}'
+
 echo "== differential fuzzing: trips_run fuzz --seed 1 =="
 # 100-program smoke by default; TRIPS_FUZZ_FULL=1 deepens the sweep to
 # 5000 programs (the nightly configuration).  Any divergence exits

@@ -1,0 +1,205 @@
+(* EDGE-block memory separation oracle.
+
+   Evaluates the address feeding each Load/Store of a finished {!Block.t}
+   to a concrete interval by walking the block's producer graph (addresses
+   are absolute at this level: {!Trips_compiler.Dataflow} resolves global
+   symbols against the layout before building instructions).  Deliberately
+   independent from {!Absint}: the compiler's LSID-relaxation pass and the
+   translation validator's [check_relax] both call this oracle, so the
+   validator re-derives disjointness from the EDGE block alone rather than
+   trusting TIR-level facts. *)
+
+module Isa = Trips_edge.Isa
+module Block = Trips_edge.Block
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+
+type iv = { lo : int64; hi : int64 }
+(* [None] everywhere below means "unknown address" (top). *)
+
+let add_ovf a b =
+  let s = Int64.add a b in
+  if (a >= 0L) = (b >= 0L) && (s >= 0L) <> (a >= 0L) then None else Some s
+
+let sub_ovf a b =
+  let s = Int64.sub a b in
+  if (a >= 0L) <> (b >= 0L) && (s >= 0L) <> (a >= 0L) then None else Some s
+
+let mul_ovf a b =
+  if a = 0L || b = 0L then Some 0L
+  else
+    let p = Int64.mul a b in
+    if Int64.div p b = a && not (a = -1L && b = Int64.min_int)
+       && not (b = -1L && a = Int64.min_int)
+    then Some p
+    else None
+
+let iv_add x y =
+  match (add_ovf x.lo y.lo, add_ovf x.hi y.hi) with
+  | Some lo, Some hi -> Some { lo; hi }
+  | _ -> None
+
+let iv_sub x y =
+  match (sub_ovf x.lo y.hi, sub_ovf x.hi y.lo) with
+  | Some lo, Some hi -> Some { lo; hi }
+  | _ -> None
+
+let iv_join x y = { lo = min x.lo y.lo; hi = max x.hi y.hi }
+
+(* A producer feeding an operand port: an instruction, or a header read
+   slot (whose register value is unknown). *)
+type producer = Pinst of int | Pread
+
+let producers (b : Block.t) : (producer list * producer list) array =
+  let n = Array.length b.Block.insts in
+  let prod = Array.make n ([], []) in
+  let feed p = function
+    | Isa.To_inst (j, Isa.Op0) when j < n ->
+      let p0, p1 = prod.(j) in
+      prod.(j) <- (p :: p0, p1)
+    | Isa.To_inst (j, Isa.Op1) when j < n ->
+      let p0, p1 = prod.(j) in
+      prod.(j) <- (p0, p :: p1)
+    | _ -> ()
+  in
+  Array.iteri
+    (fun i (ins : Isa.inst) -> List.iter (feed (Pinst i)) ins.Isa.targets)
+    b.Block.insts;
+  Array.iter
+    (fun (r : Block.read) -> List.iter (feed Pread) r.Block.rtargets)
+    b.Block.reads;
+  prod
+
+type t = { insts : Isa.inst array; prod : (producer list * producer list) array }
+
+let of_block (b : Block.t) : t =
+  { insts = b.Block.insts; prod = producers b }
+
+let low_mask bits = Int64.sub (Int64.shift_left 1L bits) 1L
+
+(* Value interval produced by instruction [i]; memoized, cycle-guarded
+   (builder output is a DAG, but stay total on malformed input). *)
+let rec value t memo onstack i : iv option =
+  if onstack.(i) then None
+  else
+    match memo.(i) with
+    | Some v -> v
+    | None ->
+      onstack.(i) <- true;
+      let v = compute t memo onstack i in
+      onstack.(i) <- false;
+      memo.(i) <- Some v;
+      v
+
+and port t memo onstack i slot : iv option =
+  let p0, p1 = t.prod.(i) in
+  let ps = match slot with Isa.Op0 -> p0 | _ -> p1 in
+  (* predicated fanout can give a port several producers, of which exactly
+     one fires at run time: join them, skipping Null producers (a null
+     token nullifies the consumer, so no access happens on that path) *)
+  let rec go acc = function
+    | [] -> acc
+    | Pread :: _ -> None
+    | Pinst j :: rest -> (
+      match t.insts.(j).Isa.op with
+      | Isa.Null -> go acc rest
+      | _ -> (
+        match value t memo onstack j with
+        | None -> None
+        | Some v ->
+          go (Some (match acc with None -> v | Some a -> iv_join a v)) rest))
+  in
+  match ps with
+  | [] -> None
+  | _ -> ( match go None ps with Some v -> Some v | None -> None)
+
+and compute t memo onstack i : iv option =
+  let ins = t.insts.(i) in
+  match ins.Isa.op with
+  | Isa.Geni n -> Some { lo = n; hi = n }
+  | Isa.Mov -> port t memo onstack i Isa.Op0
+  | Isa.Un (Ast.Zext w) -> (
+    let bits = 8 * Ty.bytes_of_width w in
+    if bits >= 64 then port t memo onstack i Isa.Op0
+    else
+      let m = low_mask bits in
+      match port t memo onstack i Isa.Op0 with
+      | Some v when v.lo >= 0L && v.hi <= m -> Some v
+      | _ -> Some { lo = 0L; hi = m })
+  | Isa.Bin op -> (
+    let a = port t memo onstack i Isa.Op0 in
+    let b =
+      match ins.Isa.imm with
+      | Some n -> Some { lo = n; hi = n }
+      | None -> port t memo onstack i Isa.Op1
+    in
+    match (op, a, b) with
+    | Ast.Add, Some x, Some y -> iv_add x y
+    | Ast.Sub, Some x, Some y -> iv_sub x y
+    | Ast.And, Some _, Some y when y.lo = y.hi && y.lo >= 0L ->
+      Some { lo = 0L; hi = y.lo }
+    | Ast.And, Some x, Some _ when x.lo = x.hi && x.lo >= 0L ->
+      Some { lo = 0L; hi = x.lo }
+    | Ast.Shl, Some x, Some y
+      when y.lo = y.hi && y.lo >= 0L && y.lo < 64L && x.lo >= 0L -> (
+      let f = Int64.shift_left 1L (Int64.to_int y.lo) in
+      match (mul_ovf x.lo f, mul_ovf x.hi f) with
+      | Some lo, Some hi -> Some { lo; hi }
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+type memop = {
+  m_inst : int;  (* instruction index in the block *)
+  m_lsid : int;
+  m_store : bool;
+  m_addr : iv option;  (* start-address interval, displacement included *)
+  m_bytes : int;
+}
+
+let memops_of t : memop list =
+  let memo = Array.make (Array.length t.insts) None in
+  let onstack = Array.make (Array.length t.insts) false in
+  let disp i =
+    match t.insts.(i).Isa.imm with Some n -> { lo = n; hi = n } | None -> { lo = 0L; hi = 0L }
+  in
+  let ops = ref [] in
+  Array.iteri
+    (fun i (ins : Isa.inst) ->
+      match ins.Isa.op with
+      | Isa.Load (_, w, lsid) ->
+        let addr =
+          match port t memo onstack i Isa.Op0 with
+          | Some v -> iv_add v (disp i)
+          | None -> None
+        in
+        ops :=
+          { m_inst = i; m_lsid = lsid; m_store = false; m_addr = addr;
+            m_bytes = Ty.bytes_of_width w }
+          :: !ops
+      | Isa.Store (w, lsid) ->
+        let addr =
+          match port t memo onstack i Isa.Op0 with
+          | Some v -> iv_add v (disp i)
+          | None -> None
+        in
+        ops :=
+          { m_inst = i; m_lsid = lsid; m_store = true; m_addr = addr;
+            m_bytes = Ty.bytes_of_width w }
+          :: !ops
+      | _ -> ())
+    t.insts;
+  List.rev !ops
+
+let memops (b : Block.t) : memop list = memops_of (of_block b)
+
+let disjoint (a : memop) (b : memop) : bool =
+  match (a.m_addr, b.m_addr) with
+  | Some x, Some y -> (
+    let bytes_a = Int64.of_int a.m_bytes and bytes_b = Int64.of_int b.m_bytes in
+    match (add_ovf x.hi bytes_a, add_ovf y.hi bytes_b) with
+    | Some xe, Some ye -> xe <= y.lo || ye <= x.lo
+    | _ -> false)
+  | _ -> false

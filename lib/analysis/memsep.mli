@@ -1,0 +1,26 @@
+(** EDGE-block memory separation oracle.
+
+    Walks a finished block's producer graph to bound the address of every
+    load/store to a concrete interval (addresses are absolute at this
+    level), then answers must-not-alias queries between them.  Shared by
+    the compiler's LSID-relaxation pass and by the translation validator's
+    relaxation check, so disjointness is always re-derived from the EDGE
+    block itself. *)
+
+type iv = { lo : int64; hi : int64 }
+
+type memop = {
+  m_inst : int;  (** instruction index within the block *)
+  m_lsid : int;
+  m_store : bool;
+  m_addr : iv option;  (** start-address bounds, [None] = unknown *)
+  m_bytes : int;
+}
+
+val memops : Trips_edge.Block.t -> memop list
+(** Every load/store of the block in instruction order, with address
+    intervals evaluated through Geni/Mov/Add/Sub/And/Shl/Zext chains
+    (header reads and anything else are unknown). *)
+
+val disjoint : memop -> memop -> bool
+(** [true] only when the two accesses provably never overlap. *)

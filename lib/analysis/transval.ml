@@ -1172,3 +1172,119 @@ let summarize reports =
     reports
 
 let report_diags reports = List.concat_map (fun r -> r.r_diags) reports
+
+(* ------------------------------------------------------------------ *)
+(* Global optimization application                                     *)
+(* ------------------------------------------------------------------ *)
+
+let copy_cfg_func (f : Cfg.func) : Cfg.func =
+  {
+    f with
+    Cfg.blocks =
+      List.map (fun (b : Cfg.block) -> { b with Cfg.ins = b.Cfg.ins }) f.Cfg.blocks;
+  }
+
+let check_gapply (mid : Cfg.program) applied (g1 : Cfg.program) =
+  let stage = "global-opt" in
+  (* one clean analysis of the pre-application program: the validator
+     re-derives every fact with its own (unbugged) fixpoint *)
+  let t = Absint.analyze mid in
+  List.map
+    (fun (f : Cfg.func) ->
+      let gfs =
+        match List.assoc_opt f.Cfg.name applied with Some l -> l | None -> []
+      in
+      match Cfg.find_func g1 f.Cfg.name with
+      | exception Not_found ->
+        refuted_report ~stage ~fname:f.Cfg.name ~block:""
+          "function disappeared across global opt"
+      | g1f -> (
+        let clean = Trips_tir.Opt.gather_global (Absint.facts t f.Cfg.name) f in
+        match List.filter (fun g -> not (List.mem g clean)) gfs with
+        | bad :: _ ->
+          refuted_report ~stage ~fname:f.Cfg.name ~block:""
+            (Format.asprintf "global fact not independently derivable: %a"
+               Trips_tir.Opt.pp_gfact bad)
+        | [] ->
+          (* syntactic replay: applying the facts to the pre image must
+             reproduce the compiler's post image bit for bit *)
+          let replay = copy_cfg_func f in
+          Trips_tir.Opt.apply_global replay gfs;
+          let fp g = Format.asprintf "%a" Cfg.pp_func g in
+          if fp replay <> fp g1f then
+            refuted_report ~stage ~fname:f.Cfg.name ~block:""
+              "global apply replay diverges from compiler output"
+          else mk_report ~stage ~fname:f.Cfg.name ~block:"" Vproved (List.length gfs) []))
+    mid.Cfg.funcs
+
+(* ------------------------------------------------------------------ *)
+(* LSID relaxation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_relax ~fname (pre : Eblk.t) (post : Eblk.t) =
+  let stage = "lsid-relax" in
+  let fail msg = refuted_report ~stage ~fname ~block:post.Eblk.label msg in
+  if
+    pre.Eblk.label <> post.Eblk.label
+    || pre.Eblk.reads <> post.Eblk.reads
+    || pre.Eblk.writes <> post.Eblk.writes
+    || Array.length pre.Eblk.insts <> Array.length post.Eblk.insts
+  then fail "relaxation changed non-memory block structure"
+  else begin
+    let n = Array.length pre.Eblk.insts in
+    let mismatch = ref None in
+    let mem = ref [] in
+    (* (inst index, old lsid, new lsid, is_store) *)
+    for i = 0 to n - 1 do
+      let a = pre.Eblk.insts.(i) and b = post.Eblk.insts.(i) in
+      (* Stdlib.compare, not (=): a [Genf nan] immediate must equal itself *)
+      let rest_eq =
+        Stdlib.compare { a with Eisa.op = Eisa.Mov } { b with Eisa.op = Eisa.Mov } = 0
+      in
+      match (a.Eisa.op, b.Eisa.op) with
+      | Eisa.Load (t1, w1, l1), Eisa.Load (t2, w2, l2)
+        when t1 = t2 && w1 = w2 && rest_eq ->
+        mem := (i, l1, l2, false) :: !mem
+      | Eisa.Store (w1, l1), Eisa.Store (w2, l2) when w1 = w2 && rest_eq ->
+        mem := (i, l1, l2, true) :: !mem
+      | _ -> if Stdlib.compare a b <> 0 then mismatch := Some i
+    done;
+    match !mismatch with
+    | Some i ->
+      fail (Printf.sprintf "relaxation rewrote non-LSID instruction %d" i)
+    | None ->
+      let mem = List.rev !mem in
+      let olds = List.sort compare (List.map (fun (_, o, _, _) -> o) mem) in
+      let news = List.sort compare (List.map (fun (_, _, n, _) -> n) mem) in
+      if olds <> news then fail "relaxed LSIDs are not a permutation"
+      else begin
+        (* disjointness is re-derived from the post block alone *)
+        let ms = Memsep.memops post in
+        let mop i = List.find_opt (fun m -> m.Memsep.m_inst = i) ms in
+        let bad = ref None in
+        let flips = ref 0 in
+        List.iter
+          (fun (i, o1, n1, s1) ->
+            List.iter
+              (fun (j, o2, n2, s2) ->
+                if i < j && o1 < o2 <> (n1 < n2) && (s1 || s2) then
+                  if s1 && s2 then
+                    bad := Some (Printf.sprintf "store-store order flipped (%d,%d)" i j)
+                  else begin
+                    incr flips;
+                    match (mop i, mop j) with
+                    | Some a, Some b ->
+                      if not (Memsep.disjoint a b) then
+                        bad :=
+                          Some
+                            (Printf.sprintf
+                               "flipped load/store pair (%d,%d) not provably disjoint" i j)
+                    | _ -> bad := Some "memory op vanished from post block"
+                  end)
+              mem)
+          mem;
+        match !bad with
+        | Some msg -> fail msg
+        | None -> mk_report ~stage ~fname ~block:post.Eblk.label Vproved !flips []
+      end
+  end

@@ -145,3 +145,22 @@ val check_risc_func :
     the emitted RISC stream.  [cls v] is true for float vregs; [loc]
     is the register-allocation assignment; [frame]/[has_frame]
     describe the stack frame. *)
+
+(** {1 Global passes} *)
+
+val check_gapply :
+  Cfg.program ->
+  (string * Trips_tir.Opt.gfact list) list ->
+  Cfg.program ->
+  report list
+(** [check_gapply mid applied g1] validates the global-optimization
+    application: every applied fact must be independently re-derivable by
+    a fresh abstract interpretation of the pre-application program [mid],
+    and replaying the application on [mid] must reproduce [g1] exactly. *)
+
+val check_relax : fname:string -> Eblk.t -> Eblk.t -> report
+(** [check_relax ~fname pre post] validates an LSID relaxation: the two
+    blocks must be identical except for permuted load/store sequence IDs,
+    store-store order must be preserved, and every flipped load/store pair
+    must be provably disjoint by {!Memsep} on the post block.  Load-load
+    order is unconstrained: loads commute regardless of aliasing. *)

@@ -282,3 +282,109 @@ let convert (ra : Regalloc.t) ~layout (hb : hblock) : Trips_edge.Block.t =
       Builder.write st.b (Regalloc.reg_of ra v) [ h ])
     write_set;
   Builder.finish st.b
+
+(* ------------------------------------------------------------------ *)
+(* LSID-ordering relaxation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Loads wait for every lower-LSID store to complete and stores commit in
+   LSID order, so conservative sequential numbering serializes memory ops
+   that can never touch the same bytes.  Renumber LSIDs by a topological
+   order of the constraint graph that keeps
+
+   - every store-store pair in its original order (commit order), and
+   - every may-alias load/store pair in its original order,
+
+   while letting provably-disjoint load/store pairs flip, preferring loads
+   first so they stop waiting on unrelated stores.  Disjointness comes from
+   {!Trips_analysis.Memsep}, re-derived independently by the translation
+   validator. *)
+let relax (b : Trips_edge.Block.t) : Trips_edge.Block.t * int =
+  let module Memsep = Trips_analysis.Memsep in
+  let ms = List.sort (fun a c -> compare a.Memsep.m_lsid c.Memsep.m_lsid) (Memsep.memops b) in
+  let arr = Array.of_list ms in
+  let n = Array.length arr in
+  let dup = ref false in
+  Array.iteri
+    (fun i (m : Memsep.memop) ->
+      if i > 0 && arr.(i - 1).Memsep.m_lsid = m.Memsep.m_lsid then dup := true)
+    arr;
+  if n < 2 || !dup then (b, 0)
+  else begin
+    let edge = Array.make_matrix n n false in
+    let indeg = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let a = arr.(i) and c = arr.(j) in
+        let must =
+          if a.Memsep.m_store && c.Memsep.m_store then true
+          else if a.Memsep.m_store <> c.Memsep.m_store then
+            not (Memsep.disjoint a c)
+          else false
+        in
+        if must then begin
+          edge.(i).(j) <- true;
+          indeg.(j) <- indeg.(j) + 1
+        end
+      done
+    done;
+    (* greedy topological renumbering: among ready ops prefer loads, then
+       original order, so the result is deterministic *)
+    let order = Array.make n 0 in
+    let placed = Array.make n false in
+    for k = 0 to n - 1 do
+      let better i best =
+        match best with
+        | None -> true
+        | Some bi ->
+          let li = not arr.(i).Memsep.m_store
+          and lb = not arr.(bi).Memsep.m_store in
+          (li && not lb) || (li = lb && i < bi)
+      in
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if (not placed.(i)) && indeg.(i) = 0 && better i !best then best := Some i
+      done;
+      let i = match !best with Some i -> i | None -> assert false in
+      placed.(i) <- true;
+      order.(k) <- i;
+      for j = 0 to n - 1 do
+        if edge.(i).(j) then indeg.(j) <- indeg.(j) - 1
+      done
+    done;
+    let newl = Hashtbl.create 8 in
+    Array.iteri (fun k i -> Hashtbl.replace newl arr.(i).Memsep.m_lsid k) order;
+    let flipped = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if arr.(i).Memsep.m_store <> arr.(j).Memsep.m_store then begin
+          let ni = Hashtbl.find newl arr.(i).Memsep.m_lsid
+          and nj = Hashtbl.find newl arr.(j).Memsep.m_lsid in
+          if ni > nj then incr flipped
+        end
+      done
+    done;
+    if !flipped = 0 then (b, 0)
+    else begin
+      let insts =
+        Array.map
+          (fun (ins : Isa.inst) ->
+            match ins.Isa.op with
+            | Isa.Load (ty, w, l) ->
+              { ins with Isa.op = Isa.Load (ty, w, Hashtbl.find newl l) }
+            | Isa.Store (w, l) ->
+              { ins with Isa.op = Isa.Store (w, Hashtbl.find newl l) }
+            | _ -> ins)
+          b.Trips_edge.Block.insts
+      in
+      let b' =
+        {
+          b with
+          Trips_edge.Block.insts;
+          placement = Array.copy b.Trips_edge.Block.placement;
+        }
+      in
+      Trips_edge.Block.validate b';
+      (b', !flipped)
+    end
+  end

@@ -27,3 +27,13 @@ val convert :
   Trips_edge.Block.t
 (** @raise Trips_edge.Block.Invalid when the materialized block exceeds a
     hardware limit (the driver retries formation with a smaller budget). *)
+
+val relax : Trips_edge.Block.t -> Trips_edge.Block.t * int
+(** LSID-ordering relaxation: renumber load/store sequence IDs along a
+    topological order that preserves store-store and may-alias load/store
+    order but lets provably-disjoint load/store pairs flip (loads first),
+    so hyperblocks serialize fewer memory operations.  Returns the relaxed
+    block (the input is untouched) and the number of flipped pairs; a
+    count of 0 returns the input block unchanged.  Disjointness is decided
+    by {!Trips_analysis.Memsep} and independently re-checked by
+    {!Trips_analysis.Transval.check_relax}. *)

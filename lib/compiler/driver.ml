@@ -108,12 +108,14 @@ type witness = {
   w_split : Cfg.func;  (* after split_large_blocks *)
   w_hf : Hyperblock.hfunc;
   w_ra : Regalloc.t;
+  w_prerelax : (string * Block.t) list;  (* blocks as built, pre LSID relax *)
+  w_relaxed : int;  (* flipped load/store LSID pairs *)
   w_presched :
     (string * (Trips_edge.Isa.inst array * Block.read array * Block.write array)) list;
   w_bf : Block.func;
 }
 
-let compile_func_wit ?(verify = false) preset ~layout (fn : Cfg.func) :
+let compile_func_wit ?(verify = false) ?(relax = true) preset ~layout (fn : Cfg.func) :
     Block.func * witness =
   let rec attempt budget cap =
     let fn' = copy_func fn in
@@ -147,6 +149,28 @@ let compile_func_wit ?(verify = false) preset ~layout (fn : Cfg.func) :
   let bf, fn', hf, ra =
     attempt preset.budget (max 8 (preset.budget.Hyperblock.max_ins * 3 / 4))
   in
+  (* LSID relaxation: renumber provably-disjoint memory ops so loads stop
+     waiting on unrelated stores; the pre-relax block is kept so the
+     validator can check the permutation independently *)
+  let prerelax = ref [] in
+  let relaxed = ref 0 in
+  let bf =
+    if preset.optimize && relax then begin
+      let blocks =
+        List.map
+          (fun (b : Block.t) ->
+            let b', flips = Dataflow.relax b in
+            if flips > 0 then begin
+              prerelax := (b.Block.label, b) :: !prerelax;
+              relaxed := !relaxed + flips
+            end;
+            b')
+          bf.Block.blocks
+      in
+      { bf with Block.blocks }
+    end
+    else bf
+  in
   if verify then verify_stage ~stage:"dataflow-convert" bf;
   let presched =
     List.map
@@ -157,7 +181,10 @@ let compile_func_wit ?(verify = false) preset ~layout (fn : Cfg.func) :
   in
   List.iter Schedule.place bf.Block.blocks;
   if verify then verify_stage ~stage:"schedule" bf;
-  (bf, { w_fn = fn; w_split = fn'; w_hf = hf; w_ra = ra; w_presched = presched; w_bf = bf })
+  ( bf,
+    { w_fn = fn; w_split = fn'; w_hf = hf; w_ra = ra;
+      w_prerelax = List.rev !prerelax; w_relaxed = !relaxed;
+      w_presched = presched; w_bf = bf } )
 
 let compile_func ?verify preset ~layout fn =
   fst (compile_func_wit ?verify preset ~layout fn)
@@ -178,14 +205,20 @@ let validate_func ?max_paths ~sym (w : witness) : Transval.report list =
     List.map
       (fun (hb : Hyperblock.hblock) ->
         try
+          (* hyperblock semantics are validated against the block as built;
+             the LSID relaxation that may follow is discharged separately
+             by check_relax below *)
           let tgt =
-            match
-              List.find_opt
-                (fun (b : Block.t) -> b.Block.label = hb.Hyperblock.hlabel)
-                w.w_bf.Block.blocks
-            with
+            match List.assoc_opt hb.Hyperblock.hlabel w.w_prerelax with
             | Some b -> b
-            | None -> raise (Transval.Refute "hyperblock has no EDGE block")
+            | None -> (
+              match
+                List.find_opt
+                  (fun (b : Block.t) -> b.Block.label = hb.Hyperblock.hlabel)
+                  w.w_bf.Block.blocks
+              with
+              | Some b -> b
+              | None -> raise (Transval.Refute "hyperblock has no EDGE block"))
           in
           let iface v =
             match Regalloc.reg_of w.w_ra v with
@@ -206,14 +239,70 @@ let validate_func ?max_paths ~sym (w : witness) : Transval.report list =
             ~block:hb.Hyperblock.hlabel msg)
       w.w_hf.Hyperblock.hblocks
   in
+  let relax_reports =
+    List.map
+      (fun (label, pre) ->
+        match
+          List.find_opt (fun (b : Block.t) -> b.Block.label = label) w.w_bf.Block.blocks
+        with
+        | Some post -> Transval.check_relax ~fname pre post
+        | None ->
+          Transval.refuted_report ~stage:"lsid-relax" ~fname ~block:label
+            "relaxed block disappeared")
+      w.w_prerelax
+  in
   Witness.check_split ~fname w.w_fn w.w_split
   @ Witness.check_formation ~fname w.w_split w.w_hf
   @ Witness.check_regalloc ~fname w.w_hf w.w_ra
   @ dataflow
+  @ relax_reports
   @ Transval.check_schedule ~fname w.w_presched w.w_bf
 
-let run_validation ?max_paths preset (p : Ast.program) :
-    Transval.report list * Block.program =
+module Absint = Trips_analysis.Absint
+
+type gstats = {
+  gs_consts : int;
+  gs_branches : int;
+  gs_rles : int;
+  gs_dses : int;
+  gs_relaxed : int;
+}
+
+let zero_gstats = { gs_consts = 0; gs_branches = 0; gs_rles = 0; gs_dses = 0; gs_relaxed = 0 }
+
+let count_gfacts gs gfs =
+  List.fold_left
+    (fun gs -> function
+      | Opt.Gconst _ -> { gs with gs_consts = gs.gs_consts + 1 }
+      | Opt.Gbranch _ -> { gs with gs_branches = gs.gs_branches + 1 }
+      | Opt.Grle _ -> { gs with gs_rles = gs.gs_rles + 1 }
+      | Opt.Gdse _ -> { gs with gs_dses = gs.gs_dses + 1 })
+    gs gfs
+
+(* Run the abstract interpretation and apply the fact-driven global passes
+   to every function in place, returning the per-function applied facts.
+   [?absint_bug] corrupts the compiler-side analysis only (the validator
+   always re-derives with a clean one), for the mutation test suite. *)
+let run_global_passes ?absint_bug (cfg : Cfg.program) : (string * Opt.gfact list) list =
+  let t = Absint.analyze ?bug:absint_bug cfg in
+  List.map
+    (fun (f : Cfg.func) -> (f.Cfg.name, Opt.run_global (Absint.facts t f.Cfg.name) f))
+    cfg.Cfg.funcs
+
+(* The TIR-level pipeline shared by compilation, the absint CLI and the
+   [absint] experiment: inline, unroll, lower, local optimization rounds.
+   The result is exactly what the abstract interpretation runs on. *)
+let front_end preset (p : Ast.program) : Cfg.program =
+  let p = if preset.inline_pass then Transform.inline p else p in
+  let p =
+    if preset.unroll > 1 then Transform.unroll_program ~factor:preset.unroll p else p
+  in
+  let cfg = Lower.program p in
+  if preset.optimize then Opt.run_program cfg;
+  cfg
+
+let run_validation_full ?max_paths ?absint_bug ?(global_opt = true) preset
+    (p : Ast.program) : Transval.report list * Block.program * gstats =
   let p = if preset.inline_pass then Transform.inline p else p in
   let p =
     if preset.unroll > 1 then Transform.unroll_program ~factor:preset.unroll p else p
@@ -223,32 +312,58 @@ let run_validation ?max_paths preset (p : Ast.program) :
     if preset.optimize then Some (List.map copy_func cfg.Cfg.funcs) else None
   in
   if preset.optimize then Opt.run_program cfg;
+  (* staged checkpoints around the global passes: local-opt output (mid),
+     global application output (g1), local cleanup output (final cfg) *)
+  let glob = preset.optimize && global_opt in
+  let mid = if glob then Some (List.map copy_func cfg.Cfg.funcs) else None in
+  let applied = if glob then run_global_passes ?absint_bug cfg else [] in
+  let g1 = if glob then Some (List.map copy_func cfg.Cfg.funcs) else None in
+  if glob then Opt.run_program cfg;
   let layout = Image.layout cfg.Cfg.globals in
   let sym s =
     match List.assoc_opt s layout with Some a -> Int64.of_int a | None -> 0L
   in
   let reports = ref [] in
-  (match pre_opt with
-  | Some pres ->
+  let check_opt_stage pres posts =
     List.iter2
       (fun pre (post : Cfg.func) ->
         reports :=
           !reports @ Transval.check_opt ?max_paths ~sym ~fname:post.Cfg.name pre post)
-      pres cfg.Cfg.funcs
-  | None -> ());
-  let wits = List.map (compile_func_wit preset ~layout) cfg.Cfg.funcs in
+      pres posts
+  in
+  (match (pre_opt, mid) with
+  | Some pres, Some mids -> check_opt_stage pres mids
+  | _ -> ());
+  (match (mid, g1) with
+  | Some mids, Some g1s ->
+    let midp = { Cfg.globals = cfg.Cfg.globals; funcs = mids } in
+    let g1p = { Cfg.globals = cfg.Cfg.globals; funcs = g1s } in
+    reports := !reports @ Transval.check_gapply midp applied g1p;
+    check_opt_stage g1s cfg.Cfg.funcs
+  | _ -> ());
+  let wits = List.map (compile_func_wit ~relax:global_opt preset ~layout) cfg.Cfg.funcs in
   List.iter (fun (_, w) -> reports := !reports @ validate_func ?max_paths ~sym w) wits;
   let prog = { Block.globals = cfg.Cfg.globals; funcs = List.map fst wits } in
   Block.validate_program prog;
   reports := !reports @ Transval.check_link prog;
-  (!reports, prog)
+  let gs = List.fold_left (fun gs (_, gfs) -> count_gfacts gs gfs) zero_gstats applied in
+  let gs =
+    List.fold_left
+      (fun gs (_, w) -> { gs with gs_relaxed = gs.gs_relaxed + w.w_relaxed })
+      gs wits
+  in
+  (!reports, prog, gs)
+
+let run_validation ?max_paths ?absint_bug preset p =
+  let reports, prog, _ = run_validation_full ?max_paths ?absint_bug preset p in
+  (reports, prog)
 
 let validate = run_validation
 
-let compile ?(verify = false) ?(validate = false) preset (p : Ast.program) :
-    Block.program =
+let compile_stats ?(verify = false) ?(validate = false) ?absint_bug
+    ?(global_opt = true) preset (p : Ast.program) : Block.program * gstats =
   if validate then begin
-    let reports, prog = run_validation preset p in
+    let reports, prog, gs = run_validation_full ?absint_bug ~global_opt preset p in
     (match
        List.find_opt
          (fun (r : Transval.report) -> r.Transval.r_verdict = Transval.Vrefuted)
@@ -265,19 +380,28 @@ let compile ?(verify = false) ?(validate = false) preset (p : Ast.program) :
       raise (Verify_failed (r.Transval.r_stage, Transval.report_diags guilty))
     | None -> ());
     if verify then verify_program ~stage:"link" prog;
-    prog
+    (prog, gs)
   end
   else begin
-    let p = if preset.inline_pass then Transform.inline p else p in
-    let p =
-      if preset.unroll > 1 then Transform.unroll_program ~factor:preset.unroll p else p
-    in
-    let cfg = Lower.program p in
-    if preset.optimize then Opt.run_program cfg;
+    let cfg = front_end preset p in
+    let glob = preset.optimize && global_opt in
+    let applied = if glob then run_global_passes ?absint_bug cfg else [] in
+    if glob then Opt.run_program cfg;
+    let gs = List.fold_left (fun gs (_, gfs) -> count_gfacts gs gfs) zero_gstats applied in
     let layout = Image.layout cfg.Cfg.globals in
-    let funcs = List.map (compile_func ~verify preset ~layout) cfg.Cfg.funcs in
-    let prog = { Block.globals = cfg.Cfg.globals; funcs } in
+    let wits =
+      List.map (compile_func_wit ~verify ~relax:global_opt preset ~layout) cfg.Cfg.funcs
+    in
+    let gs =
+      List.fold_left
+        (fun gs (_, w) -> { gs with gs_relaxed = gs.gs_relaxed + w.w_relaxed })
+        gs wits
+    in
+    let prog = { Block.globals = cfg.Cfg.globals; funcs = List.map fst wits } in
     Block.validate_program prog;
     if verify then verify_program ~stage:"link" prog;
-    prog
+    (prog, gs)
   end
+
+let compile ?verify ?validate ?absint_bug ?global_opt preset p =
+  fst (compile_stats ?verify ?validate ?absint_bug ?global_opt preset p)

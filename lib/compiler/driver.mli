@@ -33,9 +33,21 @@ exception Verify_failed of string * Trips_analysis.Diag.t list
     in the output of a compilation stage ("dataflow-convert", "schedule"
     or "link"), i.e. that stage introduced them. *)
 
+type gstats = {
+  gs_consts : int;  (** global constant/copy rewrites applied *)
+  gs_branches : int;  (** branches folded by range facts *)
+  gs_rles : int;  (** redundant loads eliminated *)
+  gs_dses : int;  (** dead stores eliminated *)
+  gs_relaxed : int;  (** load/store LSID pairs reordered *)
+}
+
+val zero_gstats : gstats
+
 val compile :
   ?verify:bool ->
   ?validate:bool ->
+  ?absint_bug:int ->
+  ?global_opt:bool ->
   preset ->
   Trips_tir.Ast.program ->
   Trips_edge.Block.program
@@ -48,7 +60,33 @@ val compile :
     raises {!Verify_failed} naming the first refuted stage.
     @raise Failure when a function cannot be made to fit even at the
     smallest budget (e.g. a single instruction stream with >32 live-in
-    registers). *)
+    registers).
+
+    Optimizing presets additionally run the fact-driven global passes
+    (sparse constant/branch folding, redundant-load and dead-store
+    elimination, LSID-ordering relaxation) between the local optimizer
+    rounds; under [~validate:true] every applied fact is re-derived and
+    its application replayed by the validator.  [?absint_bug] corrupts
+    the compiler-side abstract interpretation (1..{!Trips_analysis.Absint.num_bugs})
+    so the mutation test suite can demonstrate the validator catches a
+    broken analysis; the validator side always runs clean. *)
+
+val compile_stats :
+  ?verify:bool ->
+  ?validate:bool ->
+  ?absint_bug:int ->
+  ?global_opt:bool ->
+  preset ->
+  Trips_tir.Ast.program ->
+  Trips_edge.Block.program * gstats
+(** [compile] plus the global-optimization hit counts.
+    [~global_opt:false] disables the fact-driven global passes and the
+    LSID relaxation (ablation baseline for the [absint] experiment). *)
+
+val front_end :
+  preset -> Trips_tir.Ast.program -> Trips_tir.Cfg.program
+(** The TIR-level pipeline up to (and including) the local optimizer:
+    exactly the program the abstract interpretation analyzes. *)
 
 val compile_func :
   ?verify:bool ->
@@ -61,6 +99,10 @@ type witness = {
   w_split : Trips_tir.Cfg.func;  (** after oversized blocks were split *)
   w_hf : Hyperblock.hfunc;
   w_ra : Regalloc.t;
+  w_prerelax : (string * Trips_edge.Block.t) list;
+      (** blocks as built by dataflow conversion, before LSID relaxation;
+          only blocks the relaxation actually changed appear here *)
+  w_relaxed : int;  (** flipped load/store LSID pairs across the function *)
   w_presched :
     (string
     * (Trips_edge.Isa.inst array
@@ -72,6 +114,7 @@ type witness = {
 
 val compile_func_wit :
   ?verify:bool ->
+  ?relax:bool ->
   preset ->
   layout:(string * int) list ->
   Trips_tir.Cfg.func ->
@@ -87,6 +130,7 @@ val validate_func :
 
 val validate :
   ?max_paths:int ->
+  ?absint_bug:int ->
   preset ->
   Trips_tir.Ast.program ->
   Trips_analysis.Transval.report list * Trips_edge.Block.program

@@ -181,29 +181,36 @@ let rec gen_stmt ctx depth : Ast.stmt list =
   ctx.budget <- ctx.budget - 1;
   let can_nest = depth > 0 && ctx.budget > 1 in
   match Rng.int ctx.rng 100 with
-  | n when n < 30 ->
+  | n when n < 24 ->
     let ty = if Rng.int ctx.rng 4 = 0 then Ty.F64 else Ty.I64 in
     let x = assign_target ctx ty in
     let e = expr_of ctx ty (edepth ctx) in
     note_assign ctx ty x;
     [ set x e ]
-  | n when n < 45 ->
+  | n when n < 42 ->
+    (* Stores are over-weighted relative to a uniform mix: computed
+       addresses into shared globals are what exercise the alias
+       partition, the LSID relaxation and its validator. *)
     let width = pick ctx.rng [| Ty.W8; W8; W4; W2; W1 |] in
-    let gl = pick ctx.rng [| g_int1; g_int2 |] in
+    let gl = pick ctx.rng [| g_int1; g_int1; g_int2; g_int2; g_flt |] in
     let addr = address ~width ~gl (int_expr ctx (edepth ctx)) in
     [ Ast.Store (width, addr, int_expr ctx (edepth ctx)) ]
-  | n when n < 52 ->
+  | n when n < 50 ->
     let addr = address ~width:Ty.W8 ~gl:g_flt (int_expr ctx (edepth ctx)) in
     [ stf addr (flt_expr ctx (edepth ctx)) ]
-  | n when n < 70 && can_nest ->
+  | n when n < 71 && can_nest ->
+    (* Both arms are usually populated: two-sided ifs become predicated
+       hyperblock halves, the shape the global branch-folding pass and
+       the dead-branch analysis have to be sound on. *)
     let c = int_expr ctx (edepth ctx) in
     let t = gen_body ctx (depth - 1) (1 + Rng.int ctx.rng 3) in
     let e =
-      if Rng.bool ctx.rng then gen_body ctx (depth - 1) (1 + Rng.int ctx.rng 2)
+      if Rng.int ctx.rng 4 < 3 then
+        gen_body ctx (depth - 1) (1 + Rng.int ctx.rng 2)
       else []
     in
     [ if_ c t e ]
-  | n when n < 78 && can_nest ->
+  | n when n < 79 && can_nest ->
     (* Bounded while: a dedicated counter strictly decreases each iteration;
        the condition may add an arbitrary early-exit conjunct. *)
     ctx.budget <- ctx.budget - 2;

@@ -15,16 +15,24 @@ module Diag = Trips_analysis.Diag
 module Rcodegen = Trips_risc.Codegen
 module Rexec = Trips_risc.Exec
 
-type inject = Geni_bump | Imm_bump
+type inject = Geni_bump | Imm_bump | Absint_flaw of int
 
 let inject_to_string = function
   | Geni_bump -> "geni-bump"
   | Imm_bump -> "imm-bump"
+  | Absint_flaw n -> Printf.sprintf "absint-%d" n
 
 let inject_of_string = function
   | "geni-bump" -> Some Geni_bump
   | "imm-bump" -> Some Imm_bump
-  | _ -> None
+  | s -> (
+    match String.length s > 7 && String.sub s 0 7 = "absint-" with
+    | true -> (
+      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+      | Some n when n >= 1 && n <= Trips_analysis.Absint.num_bugs ->
+        Some (Absint_flaw n)
+      | _ -> None)
+    | false -> None)
 
 type failure = { f_check : string; f_config : string; f_detail : string }
 
@@ -144,9 +152,12 @@ let run t (p : Ast.program) : verdict =
       List.iter
         (fun (preset : Driver.preset) ->
           let pname = preset.Driver.pname in
+          let absint_bug =
+            match t.inject with Some (Absint_flaw n) -> Some n | _ -> None
+          in
           match
             Driver.compile ~verify:t.check_verify ~validate:t.check_transval
-              preset p
+              ?absint_bug preset p
           with
           | exception Driver.Verify_failed (stage, diags) ->
             addf "verify" pname
@@ -155,8 +166,8 @@ let run t (p : Ast.program) : verdict =
           | bp -> (
             let bp =
               match t.inject with
-              | None -> bp
-              | Some k -> apply_inject k bp
+              | Some ((Geni_bump | Imm_bump) as k) -> apply_inject k bp
+              | _ -> bp
             in
             (if t.check_lint then
                let diags = Analyzer.analyze_program bp in

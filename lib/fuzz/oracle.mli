@@ -15,11 +15,16 @@
     program-data region only (below the scratch/stack area), so backend
     scratch usage does not produce false diffs. *)
 
-type inject = Geni_bump | Imm_bump
-(** Compiler-bug injection, applied to the compiled EDGE program after the
-    (clean) pipeline ran: bump the first [Geni] constant, or the first
-    instruction immediate — the PR 6 transval-mutation style, here caught
-    by the execution diff. *)
+type inject = Geni_bump | Imm_bump | Absint_flaw of int
+(** Compiler-bug injection.  [Geni_bump]/[Imm_bump] mutate the compiled
+    EDGE program after the (clean) pipeline ran — bump the first [Geni]
+    constant or the first instruction immediate, the PR 6
+    transval-mutation style, caught by the execution diff.
+    [Absint_flaw n] (["absint-<n>"], [1..Trips_analysis.Absint.num_bugs])
+    instead corrupts the compiler-side abstract interpretation that
+    drives the global optimization passes; the translation validator's
+    clean re-derivation refutes the bogus facts, so these are caught by
+    the "verify" check. *)
 
 val inject_to_string : inject -> string
 val inject_of_string : string -> inject option

@@ -1,0 +1,143 @@
+(* Abstract-interpretation sweep: per workload and optimizing preset,
+   tabulate the fact counts the fixpoint derives (constant definitions,
+   provable branch directions, must-not-alias pairs, ...) next to the
+   global-optimization hits they buy (folded branches, eliminated loads
+   and stores, relaxed LSID pairs), and — on the simple suite — the
+   end-to-end simulated-cycle delta of turning the global passes on.
+
+   This is the payoff ledger for the global optimizer: the check.sh gate
+   requires nonzero hits with zero validator refutations. *)
+
+module Registry = Trips_workloads.Registry
+module Driver = Trips_compiler.Driver
+module Absint = Trips_analysis.Absint
+module Core = Trips_sim.Core
+module Image = Trips_tir.Image
+module Ast = Trips_tir.Ast
+module Table = Trips_util.Table
+
+type row = {
+  a_bench : string;
+  a_preset : string;
+  a_stats : Absint.stats;
+  a_gs : Driver.gstats;
+  a_cycles_on : int option;  (* simulated cycles, global passes on *)
+  a_cycles_off : int option;  (* same, passes off; simple suite only *)
+}
+
+let all_presets = [ "C"; "H"; "BB" ]
+
+let preset_of = function
+  | "O0" | "o0" -> Driver.o0
+  | "C" | "c" | "compiled" -> Driver.compiled
+  | "H" | "h" | "hand" -> Driver.hand
+  | "BB" | "bb" | "basic-blocks" -> Driver.basic_blocks
+  | q -> invalid_arg ("unknown preset " ^ q ^ " (use O0, C, H or BB)")
+
+let facts_of ptag (b : Registry.bench) : Absint.stats =
+  Platforms.memo (Printf.sprintf "absint/facts/%s/%s" ptag b.Registry.name)
+    (fun () ->
+      let cfg = Driver.front_end (preset_of ptag) b.Registry.program in
+      Absint.stats (Absint.analyze cfg))
+
+let diags_of ptag (b : Registry.bench) =
+  Platforms.memo (Printf.sprintf "absint/diags/%s/%s" ptag b.Registry.name)
+    (fun () ->
+      let cfg = Driver.front_end (preset_of ptag) b.Registry.program in
+      Trips_analysis.Diag.dedup (Absint.diags (Absint.analyze cfg)))
+
+let hits_of ptag (b : Registry.bench) : Driver.gstats =
+  Platforms.memo (Printf.sprintf "absint/hits/%s/%s" ptag b.Registry.name)
+    (fun () -> snd (Driver.compile_stats (preset_of ptag) b.Registry.program))
+
+let cycles_of ~global_opt ptag (b : Registry.bench) : int =
+  Platforms.memo
+    (Printf.sprintf "absint/cycles/%s/%s/%b" ptag b.Registry.name global_opt)
+    (fun () ->
+      let prog = Driver.compile ~global_opt (preset_of ptag) b.Registry.program in
+      let image = Image.build b.Registry.program.Ast.globals in
+      let r = Core.run prog image ~entry:"main" ~args:[] in
+      r.Core.timing.Core.cycles)
+
+let row ?(cycles = false) ptag (b : Registry.bench) : row =
+  {
+    a_bench = b.Registry.name;
+    a_preset = ptag;
+    a_stats = facts_of ptag b;
+    a_gs = hits_of ptag b;
+    a_cycles_on = (if cycles then Some (cycles_of ~global_opt:true ptag b) else None);
+    a_cycles_off = (if cycles then Some (cycles_of ~global_opt:false ptag b) else None);
+  }
+
+let total_hits (gs : Driver.gstats) =
+  gs.Driver.gs_consts + gs.Driver.gs_branches + gs.Driver.gs_rles
+  + gs.Driver.gs_dses + gs.Driver.gs_relaxed
+
+(* ------------------------------------------------------------------ *)
+(* The experiment table                                                *)
+(* ------------------------------------------------------------------ *)
+
+let warm () =
+  List.concat_map
+    (fun (b : Registry.bench) ->
+      List.map (fun ptag () -> ignore (row ptag b)) all_presets)
+    Registry.all
+  @ List.map
+      (fun (b : Registry.bench) () -> ignore (row ~cycles:true "C" b))
+      Registry.simple_suite
+
+let crossval () =
+  let t =
+    Table.create
+      ~title:
+        "Global abstract interpretation: derived facts and optimization \
+         hits (consts/branches/RLE/DSE/LSID-relax), cycle delta on the \
+         simple suite"
+      [
+        ("bench", Table.Left); ("preset", Table.Left);
+        ("const defs", Table.Right); ("dead br", Table.Right);
+        ("sep pairs", Table.Right); ("hits", Table.Right);
+        ("cycles on", Table.Right); ("cycles off", Table.Right);
+        ("delta %", Table.Right);
+      ]
+  in
+  let tot_hits = ref 0 and tot_facts = ref 0 in
+  List.iter
+    (fun (b : Registry.bench) ->
+      List.iter
+        (fun ptag ->
+          let cycles = ptag = "C" && List.memq b Registry.simple_suite in
+          let r = row ~cycles ptag b in
+          let s = r.a_stats and gs = r.a_gs in
+          tot_hits := !tot_hits + total_hits gs;
+          tot_facts :=
+            !tot_facts + s.Absint.s_const_defs + s.Absint.s_dead_branches
+            + s.Absint.s_sep_pairs;
+          let cyc = function Some c -> string_of_int c | None -> "" in
+          let delta =
+            match (r.a_cycles_on, r.a_cycles_off) with
+            | Some on, Some off when off > 0 ->
+              Printf.sprintf "%+.2f" (100. *. float_of_int (on - off) /. float_of_int off)
+            | _ -> ""
+          in
+          Table.add_row t
+            [
+              r.a_bench; r.a_preset;
+              string_of_int s.Absint.s_const_defs;
+              string_of_int s.Absint.s_dead_branches;
+              string_of_int s.Absint.s_sep_pairs;
+              Printf.sprintf "%d (%d/%d/%d/%d/%d)" (total_hits gs)
+                gs.Driver.gs_consts gs.Driver.gs_branches gs.Driver.gs_rles
+                gs.Driver.gs_dses gs.Driver.gs_relaxed;
+              cyc r.a_cycles_on; cyc r.a_cycles_off; delta;
+            ])
+        all_presets)
+    Registry.all;
+  Table.add_sep t;
+  Table.add_row t
+    [
+      Printf.sprintf "total: %d facts, %d hits" !tot_facts !tot_hits;
+      ""; ""; ""; ""; ""; ""; "";
+      (if !tot_hits > 0 then "ok" else "FAIL");
+    ];
+  t

@@ -241,6 +241,16 @@ let all =
              @ [ (fun () -> ignore (Transval_xv.validate_risc b)) ])
            Registry.all)
       Transval_xv.crossval;
+    experiment ~id:"absint" ~title:"Global abstract interpretation payoff"
+      ~claim:
+        "A whole-program abstract interpretation (value ranges, known \
+         bits, global alias partition) discharges global optimizations \
+         the local optimizer cannot see — constant/branch folding, \
+         redundant-load and dead-store elimination, LSID-ordering \
+         relaxation — with every applied fact re-derived by the \
+         validator; hits are nonzero and the simple-suite cycle deltas \
+         are never regressions"
+      ~warm:(Absint_xv.warm ()) Absint_xv.crossval;
     experiment ~cache:false ~id:"fuzz"
       ~title:"Differential fuzzing sweep"
       ~claim:

@@ -58,8 +58,11 @@ let stack_base t = Bytes.length t.mem - 16
 let scratch_base t = t.scratch
 let copy t = { t with mem = Bytes.copy t.mem }
 
+(* [addr > length - bytes] rather than [addr + bytes > length]: a huge
+   address from wrapped pointer arithmetic would overflow the sum past
+   [max_int] and slip through the bound. *)
 let check t addr bytes =
-  if addr < 0 || addr + bytes > Bytes.length t.mem then
+  if addr < 0 || addr > Bytes.length t.mem - bytes then
     raise (Semantics.Trap (Printf.sprintf "memory access out of range: 0x%x (%d bytes)" addr bytes))
 
 let raw_load t w addr =

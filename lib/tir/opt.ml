@@ -205,6 +205,336 @@ let simplify_branches (f : Cfg.func) =
     visit entry.label;
     f.blocks <- List.filter (fun (b : Cfg.block) -> Hashtbl.mem reached b.label) f.blocks
 
+(* ------------------------------------------------------------------ *)
+(* Global passes over analysis facts                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The abstract-interpretation results the global passes consume.  The
+   analysis lives in trips_analysis (which depends on this library), so the
+   facts cross the boundary as closures over a neutral vocabulary: program
+   points are (block label, instruction index) and memory locations are
+   (root operand, byte offset, width) triples. *)
+type absfacts = {
+  af_const : string -> int -> Cfg.operand option;
+      (** the instruction's definition provably has this constant value *)
+  af_branch : string -> bool option;
+      (** the block's branch condition is provably nonzero / zero *)
+  af_sep : Cfg.operand * int * Ty.width -> Cfg.operand * int * Ty.width -> bool;
+      (** the two accesses provably never overlap (must-not-alias) *)
+}
+
+let no_facts =
+  {
+    af_const = (fun _ _ -> None);
+    af_branch = (fun _ -> None);
+    af_sep = (fun _ _ -> false);
+  }
+
+(* One global rewrite, named by its program point so the translation
+   validator can replay the application and discharge each fact
+   independently. *)
+type gfact =
+  | Gconst of string * int * Cfg.vreg * Cfg.operand
+      (** block, ins index: replace the def with [Mov d c] *)
+  | Gbranch of string * bool
+      (** block: fold [Br] to the taken side *)
+  | Grle of string * int * Cfg.vreg * Cfg.operand
+      (** block, ins index: the load is redundant; its value is the operand *)
+  | Gdse of string * int  (** block, ins index: the store is dead *)
+
+let pp_gfact ppf = function
+  | Gconst (l, i, d, c) ->
+    Format.fprintf ppf "const %s/%d: v%d = %a" l i d Cfg.pp_operand c
+  | Gbranch (l, dir) -> Format.fprintf ppf "branch %s: %b" l dir
+  | Grle (l, i, d, c) ->
+    Format.fprintf ppf "rle %s/%d: v%d = %a" l i d Cfg.pp_operand c
+  | Gdse (l, i) -> Format.fprintf ppf "dse %s/%d" l i
+
+(* Memory access keys: root operand + static offset + width.  Root equality
+   is syntactic; the vreg-redefinition kills below keep [Reg] roots honest. *)
+type mkey = { mroot : Cfg.operand; moff : int; mw : Ty.width; mty : Ty.t }
+
+let mentions_reg (o : Cfg.operand) r = o = Cfg.Reg r
+
+(* --- global constant propagation + branch folding ------------------- *)
+
+let gather_const facts (f : Cfg.func) : gfact list =
+  let out = ref [] in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iteri
+        (fun idx ins ->
+          match ins with
+          (* Pure computations only: rewriting a trapping Div/Rem or a Load
+             would change behaviour beyond the value. [Mov] of a constant is
+             already folded form. *)
+          | Cfg.Bin ((Ast.Div | Ast.Rem), _, _, _) -> ()
+          | Cfg.Bin (_, d, _, _) | Cfg.Un (_, d, _) -> (
+            match facts.af_const b.label idx with
+            | Some c -> out := Gconst (b.label, idx, d, c) :: !out
+            | None -> ())
+          | Cfg.Mov (d, src) when not (is_const src) -> (
+            match facts.af_const b.label idx with
+            | Some c -> out := Gconst (b.label, idx, d, c) :: !out
+            | None -> ())
+          | _ -> ())
+        b.ins;
+      match b.term with
+      | Cfg.Br (c, _, _) when not (is_const c) -> (
+        match facts.af_branch b.label with
+        | Some dir -> out := Gbranch (b.label, dir) :: !out
+        | None -> ())
+      | _ -> ())
+    f.blocks;
+  List.rev !out
+
+(* --- global redundant-load elimination ------------------------------ *)
+
+(* Forward "available loads" dataflow.  An entry [key -> Reg r] means: on
+   every path reaching this point, memory at [key] holds the value of [r]
+   (established by a load into [r] with neither an intervening may-alias
+   store/call nor a redefinition of [r] or the key's root register).
+   Load-to-load only: store-to-load forwarding would need the stored
+   operand's type, which vregs do not carry syntactically. *)
+module MKeyMap = Map.Make (struct
+  type t = mkey
+
+  let compare = compare
+end)
+
+let rle_transfer facts (avail : Cfg.operand MKeyMap.t) idx ins emit =
+  let kill_reg d m =
+    MKeyMap.filter
+      (fun k v -> not (mentions_reg k.mroot d || mentions_reg v d))
+      m
+  in
+  match ins with
+  | Cfg.Load (ty, w, d, a, off) ->
+    let key = { mroot = a; moff = off; mw = w; mty = ty } in
+    (match MKeyMap.find_opt key avail with
+    | Some v -> emit (Grle (fst idx, snd idx, d, v))
+    | None -> ());
+    let avail = kill_reg d avail in
+    if mentions_reg a d then avail
+    else MKeyMap.add key (Cfg.Reg d) avail
+  | Cfg.Store (w, a, off, _) ->
+    let skey = { mroot = a; moff = off; mw = w; mty = Ty.I64 } in
+    MKeyMap.filter
+      (fun k _ ->
+        facts.af_sep (skey.mroot, skey.moff, skey.mw) (k.mroot, k.moff, k.mw))
+      avail
+  | Cfg.Call (d, _, _) ->
+    ignore d;
+    MKeyMap.empty
+  | ins -> List.fold_left (fun m d -> kill_reg d m) avail (Cfg.defs ins)
+
+let gather_rle facts (f : Cfg.func) : gfact list =
+  (* block entry states: None = not yet reached (top), Some m = known map *)
+  let entry : (string, Cfg.operand MKeyMap.t option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter (fun (b : Cfg.block) -> Hashtbl.replace entry b.label None) f.blocks;
+  (match f.blocks with
+  | [] -> ()
+  | e :: _ -> Hashtbl.replace entry e.label (Some MKeyMap.empty));
+  let meet a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some m1, Some m2 ->
+      Some
+        (MKeyMap.merge
+           (fun _ v1 v2 ->
+             match (v1, v2) with
+             | Some x, Some y when x = y -> Some x
+             | _ -> None)
+           m1 m2)
+  in
+  let exit_of b_entry (b : Cfg.block) =
+    List.fold_left
+      (fun (m, i) ins ->
+        (rle_transfer facts m (b.label, i) ins (fun _ -> ()), i + 1))
+      (b_entry, 0) b.ins
+    |> fst
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (b : Cfg.block) ->
+        match Hashtbl.find entry b.label with
+        | None -> ()
+        | Some st ->
+          let ex = exit_of st b in
+          List.iter
+            (fun succ ->
+              match Hashtbl.find_opt entry succ with
+              | None -> ()
+              | Some cur ->
+                let nw = meet cur (Some ex) in
+                if nw <> cur then begin
+                  Hashtbl.replace entry succ nw;
+                  changed := true
+                end)
+            (Cfg.successors b.term))
+      f.blocks
+  done;
+  let out = ref [] in
+  List.iter
+    (fun (b : Cfg.block) ->
+      match Hashtbl.find entry b.label with
+      | None -> ()
+      | Some st ->
+        ignore
+          (List.fold_left
+             (fun (m, i) ins ->
+               ( rle_transfer facts m (b.label, i) ins (fun g ->
+                     out := g :: !out),
+                 i + 1 ))
+             (st, 0) b.ins))
+    f.blocks;
+  List.rev !out
+
+(* --- global dead-store elimination ---------------------------------- *)
+
+(* Backward "overwritten before observed" dataflow.  A key in the set means:
+   on every path from here, the full byte range of the key is overwritten
+   before any load, call or function exit can observe it.  A store whose
+   range is covered by such a key is dead. *)
+module MSet = Set.Make (struct
+  type t = mkey
+
+  let compare = compare
+end)
+
+let covers (outer : mkey) (inner : mkey) =
+  outer.mroot = inner.mroot
+  && outer.moff <= inner.moff
+  && outer.moff + Ty.bytes_of_width outer.mw
+     >= inner.moff + Ty.bytes_of_width inner.mw
+
+let dse_transfer facts (ob : MSet.t) idx ins emit =
+  let kill_reg d s = MSet.filter (fun k -> not (mentions_reg k.mroot d)) s in
+  match ins with
+  | Cfg.Store (w, a, off, _) ->
+    let key = { mroot = a; moff = off; mw = w; mty = Ty.I64 } in
+    if MSet.exists (fun k -> covers k key) ob then emit (Gdse (fst idx, snd idx));
+    MSet.add key ob
+  | Cfg.Load (_, w, d, a, off) ->
+    let lkey = { mroot = a; moff = off; mw = w; mty = Ty.I64 } in
+    let ob =
+      MSet.filter
+        (fun k ->
+          facts.af_sep (k.mroot, k.moff, k.mw) (lkey.mroot, lkey.moff, lkey.mw))
+        ob
+    in
+    kill_reg d ob
+  | Cfg.Call _ -> MSet.empty
+  | ins -> List.fold_left (fun s d -> kill_reg d s) ob (Cfg.defs ins)
+
+let gather_dse facts (f : Cfg.func) : gfact list =
+  (* the finite lattice: sets of store keys occurring in the function *)
+  let universe = ref MSet.empty in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (function
+          | Cfg.Store (w, a, off, _) ->
+            universe :=
+              MSet.add { mroot = a; moff = off; mw = w; mty = Ty.I64 } !universe
+          | _ -> ())
+        b.ins)
+    f.blocks;
+  let entry : (string, MSet.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Cfg.block) -> Hashtbl.replace entry b.label !universe)
+    f.blocks;
+  let entry_of (b : Cfg.block) exit_ob =
+    List.fold_left
+      (fun (ob, i) ins -> (dse_transfer facts ob (b.label, i) ins (fun _ -> ()), i - 1))
+      (exit_ob, List.length b.ins - 1)
+      (List.rev b.ins)
+    |> fst
+  in
+  let exit_ob (b : Cfg.block) =
+    match Cfg.successors b.term with
+    | [] -> MSet.empty
+    | succs ->
+      List.fold_left
+        (fun acc s ->
+          MSet.inter acc
+            (Option.value ~default:MSet.empty (Hashtbl.find_opt entry s)))
+        !universe succs
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (b : Cfg.block) ->
+        let en = entry_of b (exit_ob b) in
+        if not (MSet.equal en (Hashtbl.find entry b.label)) then begin
+          Hashtbl.replace entry b.label en;
+          changed := true
+        end)
+      (List.rev f.blocks)
+  done;
+  let out = ref [] in
+  List.iter
+    (fun (b : Cfg.block) ->
+      ignore
+        (List.fold_left
+           (fun (ob, i) ins ->
+             (dse_transfer facts ob (b.label, i) ins (fun g -> out := g :: !out), i - 1))
+           (exit_ob b, List.length b.ins - 1)
+           (List.rev b.ins)))
+    f.blocks;
+  List.rev !out
+
+(* --- gather + apply -------------------------------------------------- *)
+
+let gather_global facts (f : Cfg.func) : gfact list =
+  gather_const facts f @ gather_rle facts f @ gather_dse facts f
+
+(* Apply a gathered fact set.  All indices refer to the pre-application
+   instruction lists, so rewrites are positional and deletions happen last;
+   the same replay runs inside the translation validator. *)
+let apply_global (f : Cfg.func) (gfs : gfact list) =
+  let rewrites : (string * int, gfact) Hashtbl.t = Hashtbl.create 16 in
+  let branches : (string, bool) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Gconst (l, i, _, _) as g -> Hashtbl.replace rewrites (l, i) g
+      | Grle (l, i, _, _) as g -> Hashtbl.replace rewrites (l, i) g
+      | Gdse (l, i) as g -> Hashtbl.replace rewrites (l, i) g
+      | Gbranch (l, dir) -> Hashtbl.replace branches l dir)
+    gfs;
+  List.iter
+    (fun (b : Cfg.block) ->
+      b.ins <-
+        List.filteri (fun i _ ->
+            match Hashtbl.find_opt rewrites (b.label, i) with
+            | Some (Gdse _) -> false
+            | _ -> true)
+          (List.mapi
+             (fun i ins ->
+               match Hashtbl.find_opt rewrites (b.label, i) with
+               | Some (Gconst (_, _, d, c)) | Some (Grle (_, _, d, c)) ->
+                 Cfg.Mov (d, c)
+               | _ -> ins)
+             b.ins);
+      match (b.term, Hashtbl.find_opt branches b.label) with
+      | Cfg.Br (_, l1, l2), Some dir -> b.term <- Cfg.Jmp (if dir then l1 else l2)
+      | _ -> ())
+    f.blocks
+
+let run_global facts (f : Cfg.func) : gfact list =
+  let gfs = gather_global facts f in
+  if gfs <> [] then apply_global f gfs;
+  gfs
+
 let run ?(rounds = 10) (f : Cfg.func) =
   (* iterate to a fixpoint (bounded): later passes expose work for earlier
      ones, e.g. CSE introduces moves that copyprop then propagates *)

@@ -28,3 +28,44 @@ val run : ?rounds:int -> Cfg.func -> unit
 (** Fixpoint driver: apply all passes [rounds] times (default 10, stops early at fixpoint). *)
 
 val run_program : ?rounds:int -> Cfg.program -> unit
+
+(** {2 Global passes}
+
+    Whole-function transformations driven by abstract-interpretation facts
+    (computed in [trips_analysis], passed in as closures so the dependency
+    arrow keeps pointing this way).  Every rewrite is named by a [gfact] so
+    the translation validator can replay the application and re-derive each
+    fact independently. *)
+
+type absfacts = {
+  af_const : string -> int -> Cfg.operand option;
+      (** [(block, ins index)]: the definition provably has this constant *)
+  af_branch : string -> bool option;
+      (** the block's branch condition is provably nonzero / zero *)
+  af_sep : Cfg.operand * int * Ty.width -> Cfg.operand * int * Ty.width -> bool;
+      (** [(root, offset, width)] accesses provably never overlap *)
+}
+
+val no_facts : absfacts
+(** The empty fact set: global passes become no-ops. *)
+
+type gfact =
+  | Gconst of string * int * Cfg.vreg * Cfg.operand
+  | Gbranch of string * bool
+  | Grle of string * int * Cfg.vreg * Cfg.operand
+  | Gdse of string * int
+
+val pp_gfact : Format.formatter -> gfact -> unit
+
+val gather_global : absfacts -> Cfg.func -> gfact list
+(** Collect every global rewrite the facts justify: sparse constant /
+    branch folding, redundant-load elimination over an available-loads
+    fixpoint, and dead-store elimination over an overwritten-before-observed
+    fixpoint.  Does not modify the function. *)
+
+val apply_global : Cfg.func -> gfact list -> unit
+(** Apply gathered facts.  Indices refer to pre-application instruction
+    lists; deterministic, so the validator replays it bit-for-bit. *)
+
+val run_global : absfacts -> Cfg.func -> gfact list
+(** [gather_global] followed by [apply_global]; returns the applied facts. *)

@@ -1,0 +1,323 @@
+(* Global abstract interpretation: known-answer range/alias facts on
+   hand-written programs, the seeded-bug mutation suite (every broken
+   analysis mode must be refuted by the validator's clean re-derivation),
+   and the fixpoint/idempotence property of the extended optimization
+   pipeline (local passes + fact-driven global passes). *)
+
+module Ast = Trips_tir.Ast
+module Ty = Trips_tir.Ty
+module Cfg = Trips_tir.Cfg
+module Lower = Trips_tir.Lower
+module Opt = Trips_tir.Opt
+module Driver = Trips_compiler.Driver
+module Absint = Trips_analysis.Absint
+module Diag = Trips_analysis.Diag
+module Registry = Trips_workloads.Registry
+open Ast.Infix
+
+let prog ?(globals = [ Ast.global "gA" 64; Ast.global "gB" 64 ]) body =
+  Ast.program ~globals [ Ast.func "main" ~ret:Ty.I64 body ]
+
+let analyzed ?bug p =
+  let cfg = Lower.program p in
+  (cfg, Absint.analyze ?bug cfg)
+
+let main_func (cfg : Cfg.program) =
+  List.find (fun (f : Cfg.func) -> f.Cfg.name = "main") cfg.Cfg.funcs
+
+(* -- known-answer facts ---------------------------------------------- *)
+
+let test_const_branch () =
+  let p = prog [ set "x" (i 5); if_ (v "x" <: i 3) [ ret (i 1) ] [ ret (i 2) ] ] in
+  let cfg, t = analyzed p in
+  let f = main_func cfg in
+  let dirs =
+    List.filter_map
+      (fun (b : Cfg.block) ->
+        Absint.branch_dir t ~fname:"main" ~label:b.Cfg.label)
+      f.Cfg.blocks
+  in
+  Alcotest.(check (list bool)) "5 < 3 is provably false" [ false ] dirs;
+  let dead =
+    List.filter
+      (fun (b : Cfg.block) ->
+        not (Absint.reachable t ~fname:"main" ~label:b.Cfg.label))
+      f.Cfg.blocks
+  in
+  Alcotest.(check bool) "the then-block is unreachable" true (dead <> [])
+
+let test_loop_exit_range () =
+  let p =
+    prog
+      [ set "k" (i 0);
+        while_ (v "k" <: i 10) [ set "k" (v "k" +: i 1) ];
+        ret (v "k") ]
+  in
+  let cfg, t = analyzed p in
+  let f = main_func cfg in
+  let checked = ref false in
+  List.iter
+    (fun (b : Cfg.block) ->
+      match b.Cfg.term with
+      | Cfg.Ret (Some (Cfg.Reg r)) -> (
+        match Absint.range_at t ~fname:"main" ~label:b.Cfg.label r with
+        | Some (lo, _) ->
+          checked := true;
+          Alcotest.(check int64) "loop exit: k >= 10 exactly" 10L lo
+        | None -> Alcotest.fail "no range for the returned vreg")
+      | _ -> ())
+    f.Cfg.blocks;
+  Alcotest.(check bool) "found a Ret of a vreg" true !checked
+
+let find_def (f : Cfg.func) pred =
+  let hit = ref None in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iteri
+        (fun i ins -> if !hit = None && pred ins then hit := Some (b.Cfg.label, i))
+        b.Cfg.ins)
+    f.Cfg.blocks;
+  match !hit with Some x -> x | None -> Alcotest.fail "definition not found"
+
+let test_subword_load_range () =
+  let p = prog [ set "x" (ld1 (g "gA")); ret (v "x") ] in
+  let cfg, t = analyzed p in
+  let label, idx =
+    find_def (main_func cfg) (function
+      | Cfg.Load (_, Ty.W1, _, _, _) -> true
+      | _ -> false)
+  in
+  Alcotest.(check (option (pair int64 int64)))
+    "byte loads zero-extend into [0, 255]"
+    (Some (0L, 255L))
+    (Absint.def_value t ~fname:"main" ~label idx)
+
+let test_mask_range () =
+  let p = prog [ set "x" (ld8 (g "gA") &: i 7); ret (v "x") ] in
+  let cfg, t = analyzed p in
+  let label, idx =
+    find_def (main_func cfg) (function
+      | Cfg.Bin (Ast.And, _, _, _) -> true
+      | _ -> false)
+  in
+  Alcotest.(check (option (pair int64 int64)))
+    "x & 7 lands in [0, 7]"
+    (Some (0L, 7L))
+    (Absint.def_value t ~fname:"main" ~label idx)
+
+let test_separation () =
+  let p = prog [ st8 (g "gA") (i 1); st8 (g "gB") (i 2); ret (i 0) ] in
+  let _, t = analyzed p in
+  let sep = Absint.separated t ~fname:"main" in
+  let acc g off w : Cfg.operand * int * Ty.width = (Cfg.Sym g, off, w) in
+  Alcotest.(check bool) "distinct globals are disjoint" true
+    (sep (acc "gA" 0 Ty.W8) (acc "gB" 0 Ty.W8));
+  Alcotest.(check bool) "overlapping offsets are not" false
+    (sep (acc "gA" 0 Ty.W8) (acc "gA" 4 Ty.W8));
+  Alcotest.(check bool) "adjacent words are disjoint" true
+    (sep (acc "gA" 0 Ty.W4) (acc "gA" 4 Ty.W4));
+  Alcotest.(check bool) "out-of-bounds access proves nothing" false
+    (sep (acc "gA" 60 Ty.W8) (acc "gB" 0 Ty.W8))
+
+let test_diags () =
+  let p =
+    prog
+      [ set "x" (ld8 (g "gA"));
+        set "z" (i 0);
+        set "d" (v "x" /: v "z");
+        set "s" (v "x" <<: i 64);
+        st8 (g "gB") (i 3);
+        if_ (i 1 <: i 2) [ st8 (g "gA") (v "d") ] [ st8 (g "gA") (v "s") ];
+        ret (i 0) ]
+  in
+  let _, t = analyzed p in
+  let classes = List.map (fun (d : Diag.t) -> d.Diag.cls) (Absint.diags t) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " reported") true (List.mem c classes))
+    [ "trap-div"; "shift-range"; "dead-branch"; "alias-pairs" ]
+
+let test_load_load_relax () =
+  (* A store the unknown-address load may alias pins that load in place,
+     while a provably-disjoint load jumps ahead of both — inverting the
+     two loads' LSID order.  Loads commute unconditionally, so the
+     validator must accept the permutation (regression: check_relax once
+     demanded disjointness for flipped load-load pairs too). *)
+  let p =
+    prog
+      ~globals:[ Ast.global "gA" 64; Ast.global "gB" 64; Ast.global "gC" 64 ]
+      [ st8 (g "gC") (i 1);
+        set "y" (ld8 (g "gA"));
+        set "x" (ld8 (g "gA" +: v "y"));
+        set "z" (ld8 (g "gB"));
+        ret (v "x" +: v "z") ]
+  in
+  let _, gs = Driver.compile_stats ~validate:true Driver.compiled p in
+  Alcotest.(check bool) "relaxation fired" true (gs.Driver.gs_relaxed > 0)
+
+let test_nan_relax () =
+  (* A NaN float constant in a relaxed block: the validator's structural
+     pre/post comparison must treat [Genf nan] as equal to itself
+     (regression: polymorphic (=) made check_relax report the identical
+     instruction as rewritten, because nan <> nan). *)
+  let p =
+    prog
+      ~globals:[ Ast.global "gA" 64; Ast.global "gB" 64; Ast.global "gC" 64 ]
+      [ st8 (g "gC") (f Float.nan);
+        set "y" (ld8 (g "gA"));
+        set "x" (ld8 (g "gA" +: v "y"));
+        set "z" (ld8 (g "gB"));
+        ret (v "x" +: v "z") ]
+  in
+  let _, gs = Driver.compile_stats ~validate:true Driver.compiled p in
+  Alcotest.(check bool) "relaxation fired" true (gs.Driver.gs_relaxed > 0)
+
+(* -- seeded-bug mutation suite ---------------------------------------- *)
+
+(* Each broken analysis mode gets a program where the corrupted
+   compiler-side fixpoint derives a global fact the validator's clean
+   re-derivation cannot confirm: compilation must fail in "global-opt".
+   The same program must compile and validate cleanly without the bug. *)
+
+let mutation_programs : (int * string * Ast.program) list =
+  [
+    ( 1,
+      "and-mask",
+      (* bugged: x & 7 in [0,6], so x == 7 is "provably false" *)
+      prog
+        [ set "x" (ld8 (g "gA") &: i 7);
+          if_ (v "x" =: i 7) [ st8 (g "gA") (i 1) ] [ st8 (g "gA") (i 2) ];
+          ret (v "x") ] );
+    ( 2,
+      "refine-flip",
+      (* bugged: the then-refinement of x < 10 yields x in [10, 63], so the
+         inner x >= 10 flips from provably-false to provably-true *)
+      prog
+        [ set "x" (ld8 (g "gA") &: i 63);
+          if_ (v "x" <: i 10)
+            [ if_ (v "x" >=: i 10)
+                [ st8 (g "gA") (i 1) ]
+                [ st8 (g "gA") (i 2) ] ]
+            [];
+          ret (v "x") ] );
+    ( 3,
+      "sep-overlap",
+      (* bugged: the computed store into gA is "disjoint" from gA[0], so the
+         second load is a redundant-load-elimination hit *)
+      prog
+        [ set "a" (ld8 (g "gA"));
+          st8 (g "gA" +: ((ld8 (g "gB") &: i 7) <<: i 3)) (i 7);
+          set "b" (ld8 (g "gA"));
+          ret (v "a" +: v "b") ] );
+    ( 4,
+      "add-wrap",
+      (* bugged: x in [max-1, max] plus 2 wraps to a negative interval, so
+         the inner y < 0 becomes "provably true" *)
+      prog
+        [ set "x" (ld8 (g "gA"));
+          if_ (v "x" >: i64 (Int64.sub Int64.max_int 2L))
+            [ set "y" (v "x" +: i 2);
+              if_ (v "y" <: i 0) [ st8 (g "gA") (i 1) ] [ st8 (g "gA") (i 2) ] ]
+            [];
+          ret (v "x") ] );
+    ( 5,
+      "cmp-flip",
+      (* bugged: x < 8 decides with swapped operands, flipping the provable
+         direction from true to false *)
+      prog
+        [ set "x" (ld8 (g "gA") &: i 7);
+          if_ (v "x" <: i 8) [ st8 (g "gA") (i 1) ] [ st8 (g "gA") (i 2) ];
+          ret (v "x") ] );
+  ]
+
+let test_mutation (bug, name, p) () =
+  (match Driver.compile ~validate:true Driver.compiled p with
+  | _ -> ()
+  | exception Driver.Verify_failed (stage, _) ->
+    Alcotest.failf "%s: clean pipeline refuted in %s" name stage);
+  match Driver.compile ~validate:true ~absint_bug:bug Driver.compiled p with
+  | _ -> Alcotest.failf "%s: seeded analysis bug %d not refuted" name bug
+  | exception Driver.Verify_failed (stage, _) ->
+    Alcotest.(check string)
+      (name ^ " refuted by the global-opt validator")
+      "global-opt" stage
+
+let test_bug_modes_distinct () =
+  Alcotest.(check int) "mutation suite covers every bug mode"
+    Absint.num_bugs
+    (List.length (List.sort_uniq compare (List.map (fun (b, _, _) -> b) mutation_programs)))
+
+(* -- idempotence of the extended pipeline ------------------------------ *)
+
+(* One round of [local opt -> analyze -> global passes -> local cleanup]
+   from the driver's front end must reach a fixpoint: re-running the whole
+   round leaves every function byte-identical.  (The driver applies exactly
+   one round; this pins down that one round is enough.) *)
+
+let fingerprint (cfg : Cfg.program) =
+  String.concat "\n"
+    (List.map (fun f -> Format.asprintf "%a" Cfg.pp_func f) cfg.Cfg.funcs)
+
+let global_round (cfg : Cfg.program) =
+  let t = Absint.analyze cfg in
+  List.iter
+    (fun (f : Cfg.func) -> ignore (Opt.run_global (Absint.facts t f.Cfg.name) f))
+    cfg.Cfg.funcs;
+  Opt.run_program cfg
+
+let test_idempotent name () =
+  let b = Registry.find name in
+  let cfg = Driver.front_end Driver.compiled b.Registry.program in
+  global_round cfg;
+  let fp1 = fingerprint cfg in
+  global_round cfg;
+  Alcotest.(check bool)
+    (name ^ ": second global round is a no-op")
+    true
+    (String.equal fp1 (fingerprint cfg))
+
+(* -- driver payoff ----------------------------------------------------- *)
+
+let test_driver_hits () =
+  let b = Registry.find "ct" in
+  let _, gs = Driver.compile_stats Driver.compiled b.Registry.program in
+  Alcotest.(check bool) "ct has global-optimization hits" true
+    (gs.Driver.gs_consts + gs.Driver.gs_branches + gs.Driver.gs_rles
+     + gs.Driver.gs_dses + gs.Driver.gs_relaxed
+    > 0);
+  let _, gs0 =
+    Driver.compile_stats ~global_opt:false Driver.compiled b.Registry.program
+  in
+  Alcotest.(check bool) "ablation reports zero hits" true
+    (gs0 = Driver.zero_gstats)
+
+let () =
+  Alcotest.run "absint"
+    [
+      ( "facts",
+        [
+          Alcotest.test_case "constant branch direction" `Quick test_const_branch;
+          Alcotest.test_case "loop exit range" `Quick test_loop_exit_range;
+          Alcotest.test_case "subword load range" `Quick test_subword_load_range;
+          Alcotest.test_case "mask range" `Quick test_mask_range;
+          Alcotest.test_case "separation oracle" `Quick test_separation;
+          Alcotest.test_case "diagnostics" `Quick test_diags;
+          Alcotest.test_case "load-load relaxation accepted" `Quick
+            test_load_load_relax;
+          Alcotest.test_case "nan constant in relaxed block" `Quick
+            test_nan_relax;
+        ] );
+      ( "mutations",
+        Alcotest.test_case "bug modes all covered" `Quick test_bug_modes_distinct
+        :: List.map
+             (fun ((_, name, _) as m) ->
+               Alcotest.test_case ("seeded bug: " ^ name) `Quick (test_mutation m))
+             mutation_programs );
+      ( "fixpoint",
+        List.map
+          (fun name ->
+            Alcotest.test_case ("idempotent: " ^ name) `Quick (test_idempotent name))
+          [ "ct"; "vadd"; "fft"; "8b10b" ] );
+      ( "driver",
+        [ Alcotest.test_case "global hits and ablation" `Quick test_driver_hits ] );
+    ]

@@ -274,7 +274,13 @@ let test_image_bounds () =
   let img = Image.build [] in
   Alcotest.check_raises "oob"
     (Semantics.Trap (Printf.sprintf "memory access out of range: 0x%x (8 bytes)" (Image.size img)))
-    (fun () -> ignore (Image.load img Ty.I64 Ty.W8 (Image.size img)))
+    (fun () -> ignore (Image.load img Ty.I64 Ty.W8 (Image.size img)));
+  (* a huge address from wrapped pointer arithmetic must trap, not
+     overflow the addr+bytes bound and crash in Bytes.set *)
+  Alcotest.check_raises "oob wrap"
+    (Semantics.Trap
+       (Printf.sprintf "memory access out of range: 0x%x (8 bytes)" (max_int - 3)))
+    (fun () -> Image.store img Ty.W8 (max_int - 3) (Ty.Vi 0L))
 
 let test_trap_div0 () =
   let p =
